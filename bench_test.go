@@ -1,0 +1,228 @@
+// Package repro's root benchmark suite regenerates every paper artifact
+// (Fig. 1, Fig. 2, Table 1) and every DESIGN.md extension experiment
+// (E4-E8) as a testing.B benchmark, plus micro-benchmarks for the hot
+// paths of the scoring algebra and the measurement substrate.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/experiments"
+	"iqb/internal/iqb"
+	"iqb/internal/ndt"
+	"iqb/internal/netem"
+	"iqb/internal/pipeline"
+	"iqb/internal/rng"
+)
+
+// BenchmarkFig1FrameworkGraph regenerates Fig. 1 (experiment E1).
+func BenchmarkFig1FrameworkGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Thresholds regenerates Fig. 2 (experiment E2).
+func BenchmarkFig2Thresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Weights regenerates Table 1 (experiment E3).
+func BenchmarkTable1Weights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegionalScoring runs the full E4 pipeline: synthetic country,
+// three measurement systems, per-county scores.
+func BenchmarkRegionalScoring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Regional(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorroboration runs E5: leave-one-out dataset analysis.
+func BenchmarkCorroboration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Corroboration(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregationAblation runs E6: percentile rule comparison.
+func BenchmarkAggregationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Aggregation(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightSensitivity runs E7: ±1 perturbation of every Table 1
+// cell.
+func BenchmarkWeightSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Sensitivity(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdSweep runs E8: the gaming latency threshold sweep
+// across access technologies.
+func BenchmarkThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Sweep(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks: the hot paths under the experiments ---
+
+// BenchmarkScoreAggregates measures one full equations-1-5 evaluation.
+func BenchmarkScoreAggregates(b *testing.B) {
+	cfg := iqb.DefaultConfig()
+	agg := iqb.NewAggregates()
+	for _, d := range cfg.Datasets {
+		for _, r := range d.Capabilities {
+			agg.Set(d.Name, r, 42, 100)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.ScoreAggregates(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregateStore measures percentile aggregation over a
+// 10k-record region.
+func BenchmarkAggregateStore(b *testing.B) {
+	cfg := iqb.DefaultConfig()
+	store := dataset.NewStore()
+	src := rng.New(1)
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10000; i++ {
+		rec := dataset.NewRecord(itoa(i), "ndt", "XA-01-001", ts)
+		rec.SetValue(dataset.Download, src.LogNormalFromMoments(100, 0.8))
+		rec.SetValue(dataset.Upload, src.LogNormalFromMoments(10, 0.8))
+		rec.SetValue(dataset.Latency, src.LogNormalFromMoments(40, 0.5))
+		rec.SetValue(dataset.Loss, src.Float64()*0.05)
+		if err := store.Add(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AggregateStore(store, "XA-01-001", time.Time{}, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNDTSimulate measures one simulated NDT test (the pipeline's
+// dominant cost).
+func BenchmarkNDTSimulate(b *testing.B) {
+	path := netem.DrawPath(netem.DefaultProfiles()[netem.Cable], 1, rng.New(1))
+	src := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ndt.Simulate(path, 0.5, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineSmall measures a small end-to-end world build.
+func BenchmarkPipelineSmall(b *testing.B) {
+	spec := pipeline.DefaultSpec()
+	spec.Geo.States = 1
+	spec.Geo.CountiesPer = 2
+	spec.TestsPerCounty = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf []byte
+	for i > 0 {
+		buf = append([]byte{byte('0' + i%10)}, buf...)
+		i /= 10
+	}
+	return string(buf)
+}
+
+// BenchmarkDatasetAgreement runs E9: cross-dataset rank correlation and
+// KS distances.
+func BenchmarkDatasetAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Agreement(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiurnalProfile runs E10: hour-of-day score bands.
+func BenchmarkDiurnalProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Diurnal(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingEquivalence runs E11: exact vs sketch scoring.
+func BenchmarkStreamingEquivalence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Streaming(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStackAblation runs E12: Reno-era vs BBR-era NDT measurement.
+func BenchmarkStackAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Stack(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkISPRecovery runs E13: ISP league table and quality recovery.
+func BenchmarkISPRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.ISPs(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

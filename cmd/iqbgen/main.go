@@ -1,0 +1,86 @@
+// Command iqbgen generates synthetic measurement datasets by running the
+// full simulation pipeline and writing the resulting records to NDJSON or
+// CSV files, one per dataset — the offline stand-in for downloading
+// M-Lab/Cloudflare/Ookla archives.
+//
+// Usage:
+//
+//	iqbgen -out ./data [-format ndjson|csv] [-seed 42] [-days 7]
+//	       [-tests 120] [-states 4] [-counties 3] [-isps 3]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"iqb/internal/dataset"
+	"iqb/internal/pipeline"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iqbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iqbgen", flag.ContinueOnError)
+	out := fs.String("out", ".", "output directory")
+	format := fs.String("format", "ndjson", "output format: ndjson or csv")
+	seed := fs.Uint64("seed", 42, "random seed")
+	days := fs.Int("days", 7, "measurement window in days")
+	tests := fs.Int("tests", 120, "tests per county per dataset")
+	states := fs.Int("states", 4, "synthetic states")
+	counties := fs.Int("counties", 3, "counties per state")
+	isps := fs.Int("isps", 3, "national ISPs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "ndjson" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	spec := pipeline.DefaultSpec()
+	spec.Seed = *seed
+	spec.Days = *days
+	spec.TestsPerCounty = *tests
+	spec.Geo.States = *states
+	spec.Geo.CountiesPer = *counties
+	spec.Geo.ISPs = *isps
+
+	fmt.Fprintf(os.Stderr, "iqbgen: simulating %d states x %d counties, %d tests/county/dataset over %d days (seed %d)\n",
+		*states, *counties, *tests, *days, *seed)
+	res, err := pipeline.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("creating output directory: %w", err)
+	}
+	for _, name := range res.Store.Datasets() {
+		records := res.Store.Select(dataset.Filter{Dataset: name})
+		path := filepath.Join(*out, fmt.Sprintf("%s.%s", name, *format))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", path, err)
+		}
+		if *format == "csv" {
+			err = dataset.WriteCSV(f, records)
+		} else {
+			err = dataset.WriteNDJSON(f, records)
+		}
+		cerr := f.Close()
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if cerr != nil {
+			return fmt.Errorf("closing %s: %w", path, cerr)
+		}
+		fmt.Fprintf(os.Stderr, "iqbgen: wrote %d records to %s\n", len(records), path)
+	}
+	return nil
+}

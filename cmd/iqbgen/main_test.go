@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iqb/internal/dataset"
+)
+
+func TestGenerateNDJSON(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir, "-format", "ndjson", "-seed", "1",
+		"-days", "2", "-tests", "10", "-states", "1", "-counties", "2", "-isps", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ndt", "cloudflare", "ookla"} {
+		path := filepath.Join(dir, name+".ndjson")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("expected output %s: %v", path, err)
+		}
+		records, err := dataset.ReadNDJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("re-reading %s: %v", path, err)
+		}
+		if len(records) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+		for _, r := range records {
+			if r.Dataset != name {
+				t.Fatalf("record in %s has dataset %q", path, r.Dataset)
+			}
+		}
+	}
+}
+
+func TestGenerateCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir, "-format", "csv", "-seed", "1",
+		"-days", "1", "-tests", "5", "-states", "1", "-counties", "1", "-isps", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "ndt.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Error("csv output empty")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-format", "yaml"}); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run([]string{"-days", "0"}); err == nil {
+		t.Error("invalid spec should error")
+	}
+}

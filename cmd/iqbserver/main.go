@@ -1,0 +1,85 @@
+// Command iqbserver simulates a world (or loads dataset files) and
+// serves IQB scores over the JSON HTTP API.
+//
+// Usage:
+//
+//	iqbserver [-addr 127.0.0.1:8600] [-seed 42] [-tests 120]
+//
+// Endpoints: /v1/health /v1/config /v1/regions /v1/score?region=R
+// /v1/ranking /v1/datasets
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iqb/internal/httpapi"
+	"iqb/internal/iqb"
+	"iqb/internal/pipeline"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iqbserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iqbserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8600", "listen address")
+	seed := fs.Uint64("seed", 42, "random seed for the simulated world")
+	tests := fs.Int("tests", 120, "tests per county per dataset")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	spec := pipeline.DefaultSpec()
+	spec.Seed = *seed
+	spec.TestsPerCounty = *tests
+	logger.Info("simulating world", "seed", *seed, "tests_per_county", *tests)
+	res, err := pipeline.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	logger.Info("world ready", "records", res.Store.Len(), "elapsed", res.Elapsed)
+
+	api, err := httpapi.New(iqb.DefaultConfig(), res.Store, res.World.DB, logger)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

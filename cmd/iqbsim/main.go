@@ -1,0 +1,111 @@
+// Command iqbsim runs the full synthetic-world simulation and prints the
+// per-county IQB ranking plus a score card for the best and worst
+// counties — the one-command demonstration of the whole system.
+//
+// Usage:
+//
+//	iqbsim [-seed 42] [-days 7] [-tests 120] [-states 4] [-counties 3]
+//	       [-quality high|minimum] [-verbose]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"iqb/internal/iqb"
+	"iqb/internal/pipeline"
+	"iqb/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iqbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iqbsim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "random seed")
+	days := fs.Int("days", 7, "measurement window in days")
+	tests := fs.Int("tests", 120, "tests per county per dataset")
+	states := fs.Int("states", 4, "synthetic states")
+	counties := fs.Int("counties", 3, "counties per state")
+	quality := fs.String("quality", "high", "quality bar: high or minimum")
+	verbose := fs.Bool("verbose", false, "print a score card for every county")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := pipeline.DefaultSpec()
+	spec.Seed = *seed
+	spec.Days = *days
+	spec.TestsPerCounty = *tests
+	spec.Geo.States = *states
+	spec.Geo.CountiesPer = *counties
+
+	cfg := iqb.DefaultConfig()
+	switch *quality {
+	case "high":
+	case "minimum":
+		cfg.Quality = iqb.MinimumQuality
+	default:
+		return fmt.Errorf("unknown quality %q", *quality)
+	}
+
+	res, err := pipeline.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d records in %v (", res.Store.Len(), res.Elapsed.Round(1e6))
+	for i, name := range res.Store.Datasets() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s: %d", name, res.Counts[name])
+	}
+	fmt.Println(")")
+	fmt.Println()
+
+	ranked, err := res.RankCounties(cfg)
+	if err != nil {
+		return err
+	}
+	rows := make([]report.RankedRegion, len(ranked))
+	for i, rs := range ranked {
+		rows[i] = report.RankedRegion{
+			Region:    rs.Region,
+			Character: rs.Character.String(),
+			Score:     rs.Score.IQB,
+			Grade:     rs.Score.Grade,
+		}
+	}
+	if err := report.RenderRanking(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	if *verbose {
+		for _, rs := range ranked {
+			if err := report.RenderScoreCard(os.Stdout, rs.Region, rs.Score); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	// Best and worst score cards.
+	if len(ranked) > 0 {
+		if err := report.RenderScoreCard(os.Stdout, ranked[0].Region, ranked[0].Score); err != nil {
+			return err
+		}
+		fmt.Println()
+		last := ranked[len(ranked)-1]
+		if err := report.RenderScoreCard(os.Stdout, last.Region, last.Score); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,6 @@
+// Package repro is the root of the Internet Quality Barometer (IQB)
+// reproduction. The implementation lives under internal/ (see DESIGN.md
+// for the system inventory); the runnable tools live under cmd/ and
+// examples/; this package holds the repository-level benchmark suite
+// (bench_test.go) that regenerates every table and figure.
+package repro

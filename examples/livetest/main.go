@@ -1,0 +1,132 @@
+// Livetest: run the real measurement protocols over localhost.
+//
+// This example starts an NDT-style TCP server, a Cloudflare-style HTTP
+// server, and an Ookla-style multi-connection server, all emulating the
+// same cable path, then runs each client against them and scores the
+// single-subscriber results. It demonstrates that the wire protocols are
+// real — the emulated path only paces them.
+//
+// Run: go run ./examples/livetest
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"iqb/internal/cfspeed"
+	"iqb/internal/iqb"
+	"iqb/internal/ndt"
+	"iqb/internal/netem"
+	"iqb/internal/ookla"
+	"iqb/internal/rng"
+	"iqb/internal/units"
+)
+
+func main() {
+	// One emulated subscriber: a 60/12 cable line at moderate evening load.
+	path := netem.DrawPath(netem.DefaultProfiles()[netem.Cable], 1, rng.New(3))
+	path.DownMbps, path.UpMbps = 60, 12
+	rho := 0.5
+	fmt.Printf("emulated path: %s, %.0f/%.0f Mbps, base RTT %s, loss %s\n\n",
+		path.Tech, path.DownMbps, path.UpMbps, path.BaseRTT, path.Loss)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// --- NDT-style single-stream test over real TCP ---
+	ndtSrv, err := ndt.NewServer(path, rho, 42, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ndtAddr, err := ndtSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ndtSrv.Close()
+	ndtClient := &ndt.Client{
+		Addr:       ndtAddr.String(),
+		Duration:   2 * time.Second, // shortened for the example
+		UploadRate: units.Throughput(path.UpMbps),
+	}
+	ndtRes, err := ndtClient.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ndt        %6.1f down  %5.1f up  %5.1f ms  loss %.3f%%\n",
+		ndtRes.DownloadMbps, ndtRes.UploadMbps, ndtRes.MinRTTms, ndtRes.LossRate*100)
+
+	// --- Cloudflare-style HTTP ladder test ---
+	cfHandler, err := cfspeed.NewHandler(path, rho, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfSrv := httptest.NewServer(cfHandler)
+	defer cfSrv.Close()
+	cfClient := &cfspeed.Client{
+		BaseURL:       cfSrv.URL,
+		HTTPClient:    &http.Client{Timeout: time.Minute},
+		UploadRate:    units.Throughput(path.UpMbps),
+		LatencyProbes: 8,
+		Probes:        100,
+		DownLadder:    []int64{256 << 10, 1 << 20},
+		UpLadder:      []int64{512 << 10},
+	}
+	cfRes, err := cfClient.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cloudflare %6.1f down  %5.1f up  %5.1f ms  loss %.3f%%\n",
+		cfRes.DownloadMbps, cfRes.UploadMbps, cfRes.LatencyMS, cfRes.LossRate*100)
+
+	// --- Ookla-style multi-connection test ---
+	okSrv, err := ookla.NewServer(path, rho, 42, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	okAddr, err := okSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer okSrv.Close()
+	okClient := &ookla.Client{
+		Addr:       okAddr.String(),
+		Bytes:      768 << 10,
+		Pings:      5,
+		UploadRate: units.Throughput(path.UpMbps),
+	}
+	okRes, err := okClient.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ookla      %6.1f down  %5.1f up  %5.1f ms  (published as aggregates, no loss)\n\n",
+		okRes.DownloadMbps, okRes.UploadMbps, okRes.LatencyMS)
+
+	// --- Score this single subscriber from the three live results ---
+	cfg := iqb.DefaultConfig()
+	cfg.MinSamples = 1 // a single live test per dataset
+	agg := iqb.NewAggregates()
+	agg.Set(iqb.DatasetNDT, iqb.Download, ndtRes.DownloadMbps, 1)
+	agg.Set(iqb.DatasetNDT, iqb.Upload, ndtRes.UploadMbps, 1)
+	agg.Set(iqb.DatasetNDT, iqb.Latency, ndtRes.MinRTTms, 1)
+	agg.Set(iqb.DatasetNDT, iqb.Loss, ndtRes.LossRate, 1)
+	agg.Set(iqb.DatasetCloudflare, iqb.Download, cfRes.DownloadMbps, 1)
+	agg.Set(iqb.DatasetCloudflare, iqb.Upload, cfRes.UploadMbps, 1)
+	agg.Set(iqb.DatasetCloudflare, iqb.Latency, cfRes.LatencyMS, 1)
+	agg.Set(iqb.DatasetCloudflare, iqb.Loss, cfRes.LossRate, 1)
+	agg.Set(iqb.DatasetOokla, iqb.Download, okRes.DownloadMbps, 1)
+	agg.Set(iqb.DatasetOokla, iqb.Upload, okRes.UploadMbps, 1)
+	agg.Set(iqb.DatasetOokla, iqb.Latency, okRes.LatencyMS, 1)
+
+	score, err := cfg.ScoreAggregates(agg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("this connection's IQB score: %.3f (grade %s)\n", score.IQB, score.Grade)
+	for _, uc := range score.UseCases {
+		fmt.Printf("  %-20s %.3f\n", uc.Name, uc.Score)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: compute an IQB score from aggregated measurements.
+//
+// This is the smallest possible use of the framework: you already have
+// the percentile-aggregated metrics for a region from each dataset, and
+// you want the composite score with its explanation tree.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"iqb/internal/iqb"
+	"iqb/internal/report"
+)
+
+func main() {
+	// The default configuration reproduces the paper: Table 1 weights,
+	// the Fig. 2 thresholds, three datasets, 95th-percentile aggregation,
+	// high-quality bar.
+	cfg := iqb.DefaultConfig()
+
+	// Aggregates for a hypothetical county: suppose we computed these
+	// from the raw datasets (the pipeline package automates this).
+	// NDT and Cloudflare mostly agree; Ookla's published aggregate is a
+	// touch more optimistic; latency is the weak spot.
+	agg := iqb.NewAggregates()
+	//                          dataset              requirement   value  #samples
+	agg.Set(iqb.DatasetNDT, iqb.Download, 87.3, 412)
+	agg.Set(iqb.DatasetNDT, iqb.Upload, 11.6, 412)
+	agg.Set(iqb.DatasetNDT, iqb.Latency, 64.0, 412)
+	agg.Set(iqb.DatasetNDT, iqb.Loss, 0.004, 412)
+	agg.Set(iqb.DatasetCloudflare, iqb.Download, 74.9, 958)
+	agg.Set(iqb.DatasetCloudflare, iqb.Upload, 10.2, 958)
+	agg.Set(iqb.DatasetCloudflare, iqb.Latency, 58.5, 958)
+	agg.Set(iqb.DatasetCloudflare, iqb.Loss, 0.003, 958)
+	agg.Set(iqb.DatasetOokla, iqb.Download, 102.4, 37)
+	agg.Set(iqb.DatasetOokla, iqb.Upload, 14.8, 37)
+	agg.Set(iqb.DatasetOokla, iqb.Latency, 49.0, 37)
+	// No Ookla loss: the public aggregate has no such column, and the
+	// framework renormalizes the remaining dataset weights.
+
+	score, err := cfg.ScoreAggregates(agg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("IQB score: %.3f (grade %s)\n\n", score.IQB, score.Grade)
+	if err := report.RenderScoreCard(os.Stdout, "example-county", score); err != nil {
+		log.Fatal(err)
+	}
+
+	// The breakdown tree explains every number: here is why gaming
+	// scored what it did.
+	gaming, _ := score.UseCaseByName(iqb.Gaming)
+	fmt.Printf("\ngaming breakdown (S(u) = %.3f):\n", gaming.Score)
+	for _, rs := range gaming.Requirements {
+		fmt.Printf("  %-9s agreement %.2f (weight %d)\n", rs.Name, rs.Agreement, rs.Weight)
+		for _, cell := range rs.Datasets {
+			status := "meets"
+			if cell.Missing {
+				status = "no data"
+			} else if !cell.Met {
+				status = "fails"
+			}
+			fmt.Printf("    %-11s %8.3f vs %8.3f -> %s\n", cell.Dataset, cell.Aggregate, cell.Threshold, status)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package cfspeed implements a Cloudflare-style speed test: instead of a
+// single saturating stream (NDT's methodology), the client times a ladder
+// of fixed-size HTTP transfers, samples latency with tiny requests, and
+// estimates packet loss with a burst of probe requests. This is the
+// "fundamentally different way" of measuring throughput the IQB poster
+// leans on for cross-dataset corroboration.
+//
+// The server side is a net/http handler whose transfers are paced by a
+// netem path, so a real HTTP client on localhost measures the emulated
+// access network. Simulate produces equivalent results without sockets.
+package cfspeed
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/stats"
+)
+
+// DownloadLadder is the fixed download object ladder (bytes).
+var DownloadLadder = []int64{100 << 10, 1 << 20, 10 << 20}
+
+// UploadLadder is the fixed upload object ladder (bytes).
+var UploadLadder = []int64{100 << 10, 1 << 20}
+
+// LatencySamples is how many tiny requests time the idle RTT.
+const LatencySamples = 20
+
+// LossProbes is how many probe requests estimate packet loss.
+const LossProbes = 500
+
+// Handler serves the speed test endpoints:
+//
+//	GET  /__down?bytes=N   — N bytes, paced at the path's download rate
+//	POST /__up             — discard body (client paces at its up rate)
+//	GET  /__probe          — 204, or 404 when the emulated probe "drops"
+//
+// Latency is measured by timing /__down?bytes=0. The handler injects the
+// path's emulated RTT as a server-side delay on every request.
+type Handler struct {
+	path netem.Path
+	rho  float64
+
+	mu  sync.Mutex
+	src *rng.Source
+}
+
+// NewHandler builds a handler emulating path at utilization rho.
+func NewHandler(path netem.Path, rho float64, seed uint64) (*Handler, error) {
+	if err := path.Validate(); err != nil {
+		return nil, err
+	}
+	return &Handler{path: path, rho: rho, src: rng.New(seed)}, nil
+}
+
+// observe draws a path state under the handler's lock.
+func (h *Handler) observe() netem.State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.path.Observe(h.rho, h.src)
+}
+
+// lossDraw draws one probe-drop decision.
+func (h *Handler) lossDraw(p float64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.src.Bool(p)
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	st := h.observe()
+	// One emulated round trip before any response byte.
+	time.Sleep(st.RTT.Duration())
+	switch r.URL.Path {
+	case "/__down":
+		h.serveDown(w, r, st)
+	case "/__up":
+		h.serveUp(w, r)
+	case "/__probe":
+		if h.lossDraw(float64(st.Loss)) {
+			http.Error(w, "probe dropped", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) serveDown(w http.ResponseWriter, r *http.Request, st netem.State) {
+	q := r.URL.Query().Get("bytes")
+	n, err := strconv.ParseInt(q, 10, 64)
+	if err != nil || n < 0 || n > 256<<20 {
+		http.Error(w, "bad bytes parameter", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	w.WriteHeader(http.StatusOK)
+	if n == 0 {
+		return
+	}
+	shaper, err := netem.NewShaper(st.AvailDown)
+	if err != nil {
+		return
+	}
+	chunk := make([]byte, 64<<10)
+	for n > 0 {
+		c := int64(len(chunk))
+		if c > n {
+			c = n
+		}
+		shaper.Pace(int(c))
+		if _, err := w.Write(chunk[:c]); err != nil {
+			return // client went away
+		}
+		n -= c
+	}
+}
+
+func (h *Handler) serveUp(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := io.Copy(io.Discard, r.Body)
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("X-Received-Bytes", strconv.FormatInt(n, 10))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// TestResult is the aggregated outcome of a full Cloudflare-style test.
+type TestResult struct {
+	DownloadMbps float64
+	UploadMbps   float64
+	LatencyMS    float64 // median of latency samples
+	LossRate     float64 // dropped probes / probes
+	// Samples preserves the raw per-object speed measurements.
+	DownloadSamples []float64
+	UploadSamples   []float64
+}
+
+// aggregateSpeed applies the Cloudflare-style aggregation: the 90th
+// percentile of the per-object speed samples, rewarding the sustained
+// rate reached on the larger transfers without letting one outlier
+// dominate.
+func aggregateSpeed(samples []float64) (float64, error) {
+	return stats.Percentile(samples, 90)
+}
+
+func (r TestResult) validate() error {
+	if r.DownloadMbps < 0 || r.UploadMbps < 0 || r.LatencyMS < 0 {
+		return fmt.Errorf("cfspeed: negative metric in result")
+	}
+	if r.LossRate < 0 || r.LossRate > 1 {
+		return fmt.Errorf("cfspeed: loss %v out of [0,1]", r.LossRate)
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package cfspeed
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/units"
+)
+
+func testPath() netem.Path {
+	return netem.Path{
+		Tech:     netem.Fiber,
+		DownMbps: 100,
+		UpMbps:   50,
+		BaseRTT:  units.LatencyFromMillis(10),
+		JitterMS: 2,
+		Loss:     0.01, // high so loss probes register quickly
+		BloatMS:  20,
+		Shared:   0.2,
+	}
+}
+
+func newTestServer(t *testing.T, path netem.Path, rho float64) *httptest.Server {
+	t.Helper()
+	h, err := NewHandler(path, rho, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestNewHandlerValidates(t *testing.T) {
+	if _, err := NewHandler(netem.Path{}, 0.3, 1); err == nil {
+		t.Error("invalid path should error")
+	}
+}
+
+func TestLiveFullTest(t *testing.T) {
+	srv := newTestServer(t, testPath(), 0.2)
+	client := &Client{
+		BaseURL:       srv.URL,
+		UploadRate:    50 * units.Mbps,
+		LatencyProbes: 5,
+		Probes:        60,
+		DownLadder:    []int64{100 << 10, 1 << 20},
+		UpLadder:      []int64{1 << 20},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := client.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps <= 0 || res.DownloadMbps > 105 {
+		t.Errorf("download = %v Mbps", res.DownloadMbps)
+	}
+	// The token-bucket burst lets short transfers overshoot the shaped
+	// rate slightly, so allow headroom above the nominal 50 Mbps.
+	if res.UploadMbps <= 0 || res.UploadMbps > 65 {
+		t.Errorf("upload = %v Mbps", res.UploadMbps)
+	}
+	// Base RTT 10ms with a 0.8x floor: the emulated server sleep must
+	// dominate the loopback RTT.
+	if res.LatencyMS < 8 {
+		t.Errorf("latency = %v ms, below emulated floor", res.LatencyMS)
+	}
+	if res.LossRate < 0 || res.LossRate > 0.2 {
+		t.Errorf("loss = %v", res.LossRate)
+	}
+	if len(res.DownloadSamples) != 2 || len(res.UploadSamples) != 1 {
+		t.Errorf("sample counts = %d/%d", len(res.DownloadSamples), len(res.UploadSamples))
+	}
+}
+
+func TestHandlerDownEndpoint(t *testing.T) {
+	srv := newTestServer(t, testPath(), 0.1)
+	resp, err := http.Get(srv.URL + "/__down?bytes=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) != 1000 {
+		t.Errorf("got %d bytes, want 1000", len(body))
+	}
+
+	for _, bad := range []string{"/__down", "/__down?bytes=-1", "/__down?bytes=abc", "/__down?bytes=999999999999"} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestHandlerUpRequiresPost(t *testing.T) {
+	srv := newTestServer(t, testPath(), 0.1)
+	resp, err := http.Get(srv.URL + "/__up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /__up status = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/__up", "application/octet-stream", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("POST /__up status = %d, want 204", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Received-Bytes"); got != "5" {
+		t.Errorf("received bytes header = %q", got)
+	}
+}
+
+func TestHandlerUnknownPath(t *testing.T) {
+	srv := newTestServer(t, testPath(), 0.1)
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerProbeLoss(t *testing.T) {
+	lossy := testPath()
+	lossy.Loss = 0.5
+	srv := newTestServer(t, lossy, 0.1)
+	lost, total := 0, 200
+	for i := 0; i < total; i++ {
+		resp, err := http.Get(srv.URL + "/__probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			lost++
+		}
+	}
+	rate := float64(lost) / float64(total)
+	// Loss floor draws in [0.5p, 2p] clamped at 1, so the mean is well
+	// above a third.
+	if rate < 0.2 || rate > 0.95 {
+		t.Errorf("probe loss rate = %v for p=0.5 path", rate)
+	}
+}
+
+func TestDownloadIsShaped(t *testing.T) {
+	slow := testPath()
+	slow.DownMbps = 8 // 1 MB/s
+	srv := newTestServer(t, slow, 0.1)
+	client := &Client{BaseURL: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	mbps, err := client.download(ctx, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mbps > 9 {
+		t.Errorf("download = %v Mbps through an 8 Mbps path", mbps)
+	}
+	if time.Since(start) < 500*time.Millisecond {
+		t.Error("1 MB at 8 Mbps should take about a second")
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client := &Client{BaseURL: "http://127.0.0.1:1", LatencyProbes: 1, Probes: 1,
+		DownLadder: []int64{1024}, UpLadder: []int64{1024}}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := client.Run(ctx); err == nil {
+		t.Error("dead server should error")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	res, err := Simulate(testPath(), 0.2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps <= 0 || res.DownloadMbps > 100 {
+		t.Errorf("download = %v", res.DownloadMbps)
+	}
+	if res.UploadMbps <= 0 || res.UploadMbps > 50 {
+		t.Errorf("upload = %v", res.UploadMbps)
+	}
+	if res.LatencyMS < 8 {
+		t.Errorf("latency = %v", res.LatencyMS)
+	}
+	if len(res.DownloadSamples) != len(DownloadLadder) {
+		t.Errorf("download samples = %d", len(res.DownloadSamples))
+	}
+	if res.LossRate < 0 || res.LossRate > 0.2 {
+		t.Errorf("loss = %v", res.LossRate)
+	}
+}
+
+func TestSimulateSlowStartPenalty(t *testing.T) {
+	// On a high-BDP path, the small-object ladder must understate the
+	// long-stream rate — the methodological difference the poster
+	// highlights between Cloudflare and NDT.
+	sat := netem.Path{
+		Tech:     netem.SatGEO,
+		DownMbps: 80,
+		UpMbps:   5,
+		BaseRTT:  units.LatencyFromMillis(600),
+		JitterMS: 20,
+		Loss:     0.002,
+		BloatMS:  100,
+		Shared:   0.5,
+	}
+	res, err := Simulate(sat, 0.2, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps > 40 {
+		t.Errorf("satellite ladder download = %v Mbps, should be slow-start limited well under 80", res.DownloadMbps)
+	}
+	// And the small object must be slower than the big one.
+	if res.DownloadSamples[0] >= res.DownloadSamples[len(res.DownloadSamples)-1] {
+		t.Errorf("samples should grow with object size: %v", res.DownloadSamples)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(testPath(), 0.3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate(testPath(), 0.3, rng.New(7))
+	if a.DownloadMbps != b.DownloadMbps || a.LossRate != b.LossRate {
+		t.Error("same seed should reproduce")
+	}
+}
+
+func TestToRecord(t *testing.T) {
+	res := TestResult{DownloadMbps: 80, UploadMbps: 40, LatencyMS: 12, LossRate: 0.01}
+	now := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	rec, err := res.ToRecord("c1", "XA-01-001", 64501, "fiber", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dataset != "cloudflare" || rec.LatencyMS != 12 {
+		t.Errorf("record = %+v", rec)
+	}
+	bad := TestResult{LossRate: 2}
+	if _, err := bad.ToRecord("c2", "XA", 0, "", now); err == nil {
+		t.Error("invalid result should fail record validation")
+	}
+}
+
+func TestAggregateSpeed(t *testing.T) {
+	v, err := aggregateSpeed([]float64{10, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 50 || v > 100 {
+		t.Errorf("90th pct aggregate = %v", v)
+	}
+	if _, err := aggregateSpeed(nil); err == nil {
+		t.Error("empty samples should error")
+	}
+}

@@ -1,0 +1,241 @@
+package cfspeed
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/stats"
+	"iqb/internal/units"
+)
+
+// Client runs the Cloudflare-style test against a Handler's base URL.
+type Client struct {
+	// BaseURL is e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// UploadRate paces uploads, playing the subscriber's upstream link.
+	UploadRate units.Throughput
+	// LatencyProbes overrides LatencySamples (for tests).
+	LatencyProbes int
+	// Probes overrides LossProbes (for tests).
+	Probes int
+	// DownLadder / UpLadder override the transfer ladders (for tests).
+	DownLadder []int64
+	UpLadder   []int64
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Run executes the full test: latency samples, the download ladder, the
+// upload ladder, and loss probes.
+func (c *Client) Run(ctx context.Context) (TestResult, error) {
+	var res TestResult
+
+	latencies, err := c.measureLatency(ctx)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("cfspeed: latency: %w", err)
+	}
+	med, err := stats.Median(latencies)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("cfspeed: latency aggregation: %w", err)
+	}
+	res.LatencyMS = med
+
+	down := c.DownLadder
+	if down == nil {
+		down = DownloadLadder
+	}
+	for _, size := range down {
+		mbps, err := c.download(ctx, size)
+		if err != nil {
+			return TestResult{}, fmt.Errorf("cfspeed: download %d bytes: %w", size, err)
+		}
+		res.DownloadSamples = append(res.DownloadSamples, mbps)
+	}
+	if res.DownloadMbps, err = aggregateSpeed(res.DownloadSamples); err != nil {
+		return TestResult{}, err
+	}
+
+	up := c.UpLadder
+	if up == nil {
+		up = UploadLadder
+	}
+	for _, size := range up {
+		mbps, err := c.upload(ctx, size)
+		if err != nil {
+			return TestResult{}, fmt.Errorf("cfspeed: upload %d bytes: %w", size, err)
+		}
+		res.UploadSamples = append(res.UploadSamples, mbps)
+	}
+	if res.UploadMbps, err = aggregateSpeed(res.UploadSamples); err != nil {
+		return TestResult{}, err
+	}
+
+	loss, err := c.measureLoss(ctx)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("cfspeed: loss probes: %w", err)
+	}
+	res.LossRate = loss
+
+	if err := res.validate(); err != nil {
+		return TestResult{}, err
+	}
+	return res, nil
+}
+
+func (c *Client) measureLatency(ctx context.Context) ([]float64, error) {
+	n := c.LatencyProbes
+	if n <= 0 {
+		n = LatencySamples
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := c.get(ctx, "/__down?bytes=0"); err != nil {
+			return nil, err
+		}
+		out = append(out, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	return out, nil
+}
+
+func (c *Client) get(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *Client) download(ctx context.Context, size int64) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/__down?bytes=%d", c.BaseURL, size), nil)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if n != size {
+		return 0, fmt.Errorf("got %d of %d bytes", n, size)
+	}
+	return units.ThroughputFromTransfer(n, time.Since(start)).Mbps(), nil
+}
+
+// pacedReader rations bytes through a shaper to emulate the subscriber's
+// upstream rate.
+type pacedReader struct {
+	remaining int64
+	shaper    *netem.Shaper
+	chunk     []byte
+}
+
+func (p *pacedReader) Read(b []byte) (int, error) {
+	if p.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := len(b)
+	if int64(n) > p.remaining {
+		n = int(p.remaining)
+	}
+	if n > 32<<10 {
+		n = 32 << 10
+	}
+	if p.shaper != nil {
+		p.shaper.Pace(n)
+	}
+	for i := 0; i < n; i++ {
+		b[i] = 0
+	}
+	p.remaining -= int64(n)
+	return n, nil
+}
+
+func (c *Client) upload(ctx context.Context, size int64) (float64, error) {
+	var body io.Reader
+	if c.UploadRate > 0 {
+		shaper, err := netem.NewShaper(c.UploadRate)
+		if err != nil {
+			return 0, err
+		}
+		body = &pacedReader{remaining: size, shaper: shaper}
+	} else {
+		body = bytes.NewReader(make([]byte, size))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/__up", body)
+	if err != nil {
+		return 0, err
+	}
+	req.ContentLength = size
+	start := time.Now()
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return units.ThroughputFromTransfer(size, time.Since(start)).Mbps(), nil
+}
+
+func (c *Client) measureLoss(ctx context.Context) (float64, error) {
+	n := c.Probes
+	if n <= 0 {
+		n = LossProbes
+	}
+	lost := 0
+	for i := 0; i < n; i++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/__probe", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+		case http.StatusNotFound:
+			lost++
+		default:
+			return 0, fmt.Errorf("probe status %d", resp.StatusCode)
+		}
+	}
+	return float64(lost) / float64(n), nil
+}

@@ -1,0 +1,95 @@
+package cfspeed
+
+import (
+	"fmt"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/stats"
+	"iqb/internal/tcpmodel"
+)
+
+// Simulate produces the result a Cloudflare-style test would report for a
+// subscriber on the given path, without sockets. Each ladder object is an
+// independent short TCP transfer, so slow-start dominates the small
+// objects exactly as it does in the real methodology — on high-BDP paths
+// this underestimates relative to NDT's 10-second stream, which is the
+// inter-dataset disagreement IQB's corroboration logic exists to absorb.
+func Simulate(path netem.Path, rho float64, src *rng.Source) (TestResult, error) {
+	if src == nil {
+		src = rng.New(0)
+	}
+	var res TestResult
+
+	for _, size := range DownloadLadder {
+		run, err := tcpmodel.Run(path, tcpmodel.Config{
+			Direction: tcpmodel.Download,
+			Bytes:     size,
+			Rho:       rho,
+		}, src)
+		if err != nil {
+			return TestResult{}, fmt.Errorf("cfspeed: simulating %d byte download: %w", size, err)
+		}
+		res.DownloadSamples = append(res.DownloadSamples, run.Goodput.Mbps())
+	}
+	var err error
+	if res.DownloadMbps, err = aggregateSpeed(res.DownloadSamples); err != nil {
+		return TestResult{}, err
+	}
+
+	for _, size := range UploadLadder {
+		run, err := tcpmodel.Run(path, tcpmodel.Config{
+			Direction: tcpmodel.Upload,
+			Bytes:     size,
+			Rho:       rho,
+		}, src)
+		if err != nil {
+			return TestResult{}, fmt.Errorf("cfspeed: simulating %d byte upload: %w", size, err)
+		}
+		res.UploadSamples = append(res.UploadSamples, run.Goodput.Mbps())
+	}
+	if res.UploadMbps, err = aggregateSpeed(res.UploadSamples); err != nil {
+		return TestResult{}, err
+	}
+
+	pings := tcpmodel.Ping(path, LatencySamples, rho, src)
+	ms := make([]float64, len(pings))
+	for i, p := range pings {
+		ms[i] = p.Milliseconds()
+	}
+	if res.LatencyMS, err = stats.Median(ms); err != nil {
+		return TestResult{}, err
+	}
+
+	// Loss probes: Binomial(LossProbes, p) via per-probe draws.
+	lost := 0
+	for i := 0; i < LossProbes; i++ {
+		st := path.Observe(rho, src)
+		if src.Bool(float64(st.Loss)) {
+			lost++
+		}
+	}
+	res.LossRate = float64(lost) / float64(LossProbes)
+
+	if err := res.validate(); err != nil {
+		return TestResult{}, err
+	}
+	return res, nil
+}
+
+// ToRecord converts a test result into the unified dataset schema.
+func (r TestResult) ToRecord(id, region string, asn uint32, tech string, t time.Time) (dataset.Record, error) {
+	rec := dataset.NewRecord(id, "cloudflare", region, t)
+	rec.ASN = asn
+	rec.Tech = tech
+	rec.SetValue(dataset.Download, r.DownloadMbps)
+	rec.SetValue(dataset.Upload, r.UploadMbps)
+	rec.SetValue(dataset.Latency, r.LatencyMS)
+	rec.SetValue(dataset.Loss, r.LossRate)
+	if err := rec.Validate(); err != nil {
+		return dataset.Record{}, err
+	}
+	return rec, nil
+}

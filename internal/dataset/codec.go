@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// jsonRecord is the wire form of a Record: metric fields are pointers so
+// missing values round-trip as absent keys rather than NaN (which JSON
+// cannot represent).
+type jsonRecord struct {
+	ID       string    `json:"id"`
+	Time     time.Time `json:"time"`
+	Dataset  string    `json:"dataset"`
+	Region   string    `json:"region"`
+	ASN      uint32    `json:"asn,omitempty"`
+	Tech     string    `json:"tech,omitempty"`
+	Download *float64  `json:"download_mbps,omitempty"`
+	Upload   *float64  `json:"upload_mbps,omitempty"`
+	Latency  *float64  `json:"latency_ms,omitempty"`
+	Loss     *float64  `json:"loss_frac,omitempty"`
+}
+
+func toWire(r Record) jsonRecord {
+	w := jsonRecord{ID: r.ID, Time: r.Time, Dataset: r.Dataset, Region: r.Region, ASN: r.ASN, Tech: r.Tech}
+	if v, ok := r.Value(Download); ok {
+		w.Download = &v
+	}
+	if v, ok := r.Value(Upload); ok {
+		w.Upload = &v
+	}
+	if v, ok := r.Value(Latency); ok {
+		w.Latency = &v
+	}
+	if v, ok := r.Value(Loss); ok {
+		w.Loss = &v
+	}
+	return w
+}
+
+func fromWire(w jsonRecord) Record {
+	r := NewRecord(w.ID, w.Dataset, w.Region, w.Time)
+	r.ASN = w.ASN
+	r.Tech = w.Tech
+	if w.Download != nil {
+		r.DownloadMbps = *w.Download
+	}
+	if w.Upload != nil {
+		r.UploadMbps = *w.Upload
+	}
+	if w.Latency != nil {
+		r.LatencyMS = *w.Latency
+	}
+	if w.Loss != nil {
+		r.LossFrac = *w.Loss
+	}
+	return r
+}
+
+// WriteNDJSON streams records to w as newline-delimited JSON.
+func WriteNDJSON(w io.Writer, rs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range rs {
+		if err := enc.Encode(toWire(r)); err != nil {
+			return fmt.Errorf("dataset: encoding record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses newline-delimited JSON records from r, validating
+// each. It reports the line number of the first malformed record.
+func ReadNDJSON(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var w jsonRecord
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		rec := fromWire(w)
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading NDJSON: %w", err)
+	}
+	return out, nil
+}
+
+// csvHeader is the fixed CSV column order.
+var csvHeader = []string{"id", "time", "dataset", "region", "asn", "tech", "download_mbps", "upload_mbps", "latency_ms", "loss_frac"}
+
+// WriteCSV writes records with a header row. Missing metrics are empty
+// cells.
+func WriteCSV(w io.Writer, rs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	fmtMetric := func(v float64) string {
+		if math.IsNaN(v) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for i, r := range rs {
+		row := []string{
+			r.ID,
+			r.Time.UTC().Format(time.RFC3339Nano),
+			r.Dataset,
+			r.Region,
+			strconv.FormatUint(uint64(r.ASN), 10),
+			r.Tech,
+			fmtMetric(r.DownloadMbps),
+			fmtMetric(r.UploadMbps),
+			fmtMetric(r.LatencyMS),
+			fmtMetric(r.LossFrac),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses records written by WriteCSV, validating each.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		t, err := time.Parse(time.RFC3339Nano, row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d time: %w", line, err)
+		}
+		asn, err := strconv.ParseUint(row[4], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d asn: %w", line, err)
+		}
+		rec := NewRecord(row[0], row[2], row[3], t)
+		rec.ASN = uint32(asn)
+		rec.Tech = row[5]
+		for i, m := range []Metric{Download, Upload, Latency, Loss} {
+			cell := row[6+i]
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d %s: %w", line, m, err)
+			}
+			rec.SetValue(m, v)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+// Package dataset defines the unified measurement record the IQB
+// framework aggregates, an in-memory store with region/ISP/time indexes
+// and group-by percentile aggregation, and NDJSON/CSV codecs for moving
+// records in and out of the system.
+//
+// Records from different measurement systems carry different subsets of
+// metrics (Ookla aggregates, for example, publish no packet loss), so
+// every metric is optional; missing values are NaN internally and omitted
+// on the wire.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Metric identifies one of the four network metrics IQB consumes.
+type Metric int
+
+// The metrics, matching the paper's network-requirements tier.
+const (
+	Download Metric = iota
+	Upload
+	Latency
+	Loss
+	numMetrics
+)
+
+// AllMetrics returns every metric in declaration order.
+func AllMetrics() []Metric {
+	out := make([]Metric, numMetrics)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case Download:
+		return "download"
+	case Upload:
+		return "upload"
+	case Latency:
+		return "latency"
+	case Loss:
+		return "loss"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// ParseMetric resolves a metric by its String name.
+func ParseMetric(s string) (Metric, error) {
+	for _, m := range AllMetrics() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown metric %q", s)
+}
+
+// Record is one measurement: a single test by one subscriber (for NDT and
+// Cloudflare style datasets) or one published aggregate row (Ookla
+// style). Metric fields are NaN when the source does not report them.
+type Record struct {
+	// ID uniquely identifies the record within its dataset.
+	ID string
+	// Time is when the measurement completed.
+	Time time.Time
+	// Dataset names the source pipeline ("ndt", "cloudflare", "ookla").
+	Dataset string
+	// Region is the hierarchical region code the subscriber is in.
+	Region string
+	// ASN identifies the subscriber's ISP; zero if unknown.
+	ASN uint32
+	// Tech optionally records the access technology, when known.
+	Tech string
+
+	// DownloadMbps and UploadMbps are goodput in Mbit/s.
+	DownloadMbps float64
+	// UploadMbps is upstream goodput in Mbit/s.
+	UploadMbps float64
+	// LatencyMS is the idle round-trip time in milliseconds.
+	LatencyMS float64
+	// LossFrac is the packet loss fraction in [0, 1].
+	LossFrac float64
+}
+
+// NewRecord returns a record with all metrics missing.
+func NewRecord(id, ds, region string, t time.Time) Record {
+	nan := math.NaN()
+	return Record{
+		ID: id, Dataset: ds, Region: region, Time: t,
+		DownloadMbps: nan, UploadMbps: nan, LatencyMS: nan, LossFrac: nan,
+	}
+}
+
+// Value returns the metric value and whether it is present.
+func (r Record) Value(m Metric) (float64, bool) {
+	var v float64
+	switch m {
+	case Download:
+		v = r.DownloadMbps
+	case Upload:
+		v = r.UploadMbps
+	case Latency:
+		v = r.LatencyMS
+	case Loss:
+		v = r.LossFrac
+	default:
+		return 0, false
+	}
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// SetValue sets the metric value.
+func (r *Record) SetValue(m Metric, v float64) {
+	switch m {
+	case Download:
+		r.DownloadMbps = v
+	case Upload:
+		r.UploadMbps = v
+	case Latency:
+		r.LatencyMS = v
+	case Loss:
+		r.LossFrac = v
+	}
+}
+
+// Has reports whether the metric is present.
+func (r Record) Has(m Metric) bool {
+	_, ok := r.Value(m)
+	return ok
+}
+
+// Validate checks the record is structurally sound: identified, located,
+// and with in-range metric values where present.
+func (r Record) Validate() error {
+	if r.ID == "" {
+		return fmt.Errorf("dataset: record missing ID")
+	}
+	if r.Dataset == "" {
+		return fmt.Errorf("dataset: record %s missing dataset", r.ID)
+	}
+	if r.Region == "" {
+		return fmt.Errorf("dataset: record %s missing region", r.ID)
+	}
+	if r.Time.IsZero() {
+		return fmt.Errorf("dataset: record %s missing time", r.ID)
+	}
+	if v, ok := r.Value(Download); ok && v < 0 {
+		return fmt.Errorf("dataset: record %s negative download %v", r.ID, v)
+	}
+	if v, ok := r.Value(Upload); ok && v < 0 {
+		return fmt.Errorf("dataset: record %s negative upload %v", r.ID, v)
+	}
+	if v, ok := r.Value(Latency); ok && v < 0 {
+		return fmt.Errorf("dataset: record %s negative latency %v", r.ID, v)
+	}
+	if v, ok := r.Value(Loss); ok && (v < 0 || v > 1) {
+		return fmt.Errorf("dataset: record %s loss %v out of [0,1]", r.ID, v)
+	}
+	hasAny := false
+	for _, m := range AllMetrics() {
+		if r.Has(m) {
+			hasAny = true
+			break
+		}
+	}
+	if !hasAny {
+		return fmt.Errorf("dataset: record %s carries no metrics", r.ID)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"iqb/internal/stats"
+)
+
+// Sketcher is the memory-bounded ingestion path: instead of retaining
+// raw records it folds each metric into a t-digest per
+// (dataset, region, metric) cell. Region hierarchy queries merge the
+// digests of matching regions, so percentile aggregates remain available
+// at any level without raw data — the mode a production IQB deployment
+// ingesting millions of tests per day would run in.
+type Sketcher struct {
+	compression float64
+
+	mu    sync.RWMutex
+	cells map[sketchKey]*stats.TDigest
+}
+
+type sketchKey struct {
+	dataset string
+	region  string
+	metric  Metric
+}
+
+// NewSketcher returns a sketcher with the given t-digest compression
+// (<= 0 uses the library default).
+func NewSketcher(compression float64) *Sketcher {
+	return &Sketcher{
+		compression: compression,
+		cells:       make(map[sketchKey]*stats.TDigest),
+	}
+}
+
+// Ingest folds one record into the sketch. The record is validated.
+func (s *Sketcher) Ingest(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range AllMetrics() {
+		v, ok := r.Value(m)
+		if !ok {
+			continue
+		}
+		k := sketchKey{r.Dataset, r.Region, m}
+		td, ok := s.cells[k]
+		if !ok {
+			td = stats.NewTDigest(s.compression)
+			s.cells[k] = td
+		}
+		td.Add(v)
+	}
+	return nil
+}
+
+// IngestAll folds a batch, stopping at the first error.
+func (s *Sketcher) IngestAll(rs []Record) error {
+	for i, r := range rs {
+		if err := s.Ingest(r); err != nil {
+			return fmt.Errorf("dataset: sketching record %d of %d: %w", i+1, len(rs), err)
+		}
+	}
+	return nil
+}
+
+// Cells reports the number of (dataset, region, metric) sketch cells.
+func (s *Sketcher) Cells() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.cells)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of metric m for dataset
+// ds across the region prefix, along with the total sample weight it was
+// computed from. Digests of all regions under the prefix are merged.
+func (s *Sketcher) Quantile(ds, regionPrefix string, m Metric, q float64) (float64, int, error) {
+	s.mu.RLock()
+	merged := stats.NewTDigest(s.compression)
+	for k, td := range s.cells {
+		if k.dataset != ds || k.metric != m {
+			continue
+		}
+		if regionPrefix != "" && !regionMatch(regionPrefix, k.region) {
+			continue
+		}
+		merged.Merge(td)
+	}
+	s.mu.RUnlock()
+	if merged.Count() == 0 {
+		return 0, 0, stats.ErrNoData
+	}
+	v, err := merged.Quantile(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v, int(merged.Count()), nil
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"iqb/internal/rng"
+	"iqb/internal/stats"
+)
+
+func TestSketcherQuantileMatchesExact(t *testing.T) {
+	sk := NewSketcher(200)
+	store := NewStore()
+	src := rng.New(5)
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20000; i++ {
+		r := NewRecord(uniq(i), "ndt", "XA-01-001", ts)
+		r.SetValue(Download, src.LogNormalFromMoments(100, 0.9))
+		r.SetValue(Latency, src.LogNormalFromMoments(40, 0.6))
+		if err := sk.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []Metric{Download, Latency} {
+		for _, q := range []float64{0.05, 0.5, 0.95} {
+			approx, n, err := sk.Quantile("ndt", "XA-01-001", m, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 20000 {
+				t.Errorf("sample count = %d", n)
+			}
+			exact, err := store.Aggregate(Filter{Dataset: "ndt"}, m, q*100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(approx-exact) / exact; rel > 0.05 {
+				t.Errorf("%v q=%v: sketch %v vs exact %v (rel %v)", m, q, approx, exact, rel)
+			}
+		}
+	}
+}
+
+func TestSketcherRegionHierarchyMerge(t *testing.T) {
+	sk := NewSketcher(0)
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	add := func(id, region string, v float64) {
+		t.Helper()
+		r := NewRecord(id, "ndt", region, ts)
+		r.SetValue(Download, v)
+		if err := sk.Ingest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a", "XA-01-001", 10)
+	add("b", "XA-01-002", 20)
+	add("c", "XA-02-001", 30)
+
+	// County-level: single digest.
+	v, n, err := sk.Quantile("ndt", "XA-01-001", Download, 0.5)
+	if err != nil || n != 1 || v != 10 {
+		t.Errorf("county quantile = %v, %d, %v", v, n, err)
+	}
+	// State-level: merges two counties.
+	_, n, err = sk.Quantile("ndt", "XA-01", Download, 0.5)
+	if err != nil || n != 2 {
+		t.Errorf("state merge n = %d, %v", n, err)
+	}
+	// Country-level: all three.
+	_, n, err = sk.Quantile("ndt", "XA", Download, 0.5)
+	if err != nil || n != 3 {
+		t.Errorf("country merge n = %d, %v", n, err)
+	}
+	// Empty prefix matches everything.
+	_, n, err = sk.Quantile("ndt", "", Download, 0.5)
+	if err != nil || n != 3 {
+		t.Errorf("unscoped n = %d, %v", n, err)
+	}
+}
+
+func TestSketcherErrors(t *testing.T) {
+	sk := NewSketcher(0)
+	if err := sk.Ingest(Record{}); err == nil {
+		t.Error("invalid record should error")
+	}
+	if _, _, err := sk.Quantile("ndt", "XA", Download, 0.5); !errors.Is(err, stats.ErrNoData) {
+		t.Errorf("empty sketch should be ErrNoData, got %v", err)
+	}
+	err := sk.IngestAll([]Record{{}})
+	if err == nil {
+		t.Error("IngestAll with invalid record should error")
+	}
+}
+
+func TestSketcherCells(t *testing.T) {
+	sk := NewSketcher(0)
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	r := NewRecord("a", "ndt", "XA", ts)
+	r.SetValue(Download, 1)
+	r.SetValue(Latency, 2)
+	if err := sk.IngestAll([]Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	if sk.Cells() != 2 {
+		t.Errorf("cells = %d, want 2 (one per present metric)", sk.Cells())
+	}
+}
+
+func BenchmarkSketcherIngest(b *testing.B) {
+	sk := NewSketcher(200)
+	src := rng.New(1)
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	r := NewRecord("x", "ndt", "XA-01-001", ts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.SetValue(Download, src.Float64()*100)
+		r.SetValue(Latency, src.Float64()*100)
+		if err := sk.Ingest(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

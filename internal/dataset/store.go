@@ -1,0 +1,315 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iqb/internal/stats"
+)
+
+// Store is an in-memory measurement store with secondary indexes on
+// region and ASN. It is safe for concurrent use; reads never block other
+// reads.
+type Store struct {
+	mu       sync.RWMutex
+	records  []Record
+	byRegion map[string][]int
+	byASN    map[uint32][]int
+	ids      map[string]struct{} // dataset/id uniqueness
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byRegion: make(map[string][]int),
+		byASN:    make(map[uint32][]int),
+		ids:      make(map[string]struct{}),
+	}
+}
+
+// Add validates and inserts a record. Duplicate (dataset, ID) pairs are
+// rejected.
+func (s *Store) Add(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	key := r.Dataset + "/" + r.ID
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ids[key]; dup {
+		return fmt.Errorf("dataset: duplicate record %s", key)
+	}
+	s.ids[key] = struct{}{}
+	idx := len(s.records)
+	s.records = append(s.records, r)
+	s.byRegion[r.Region] = append(s.byRegion[r.Region], idx)
+	if r.ASN != 0 {
+		s.byASN[r.ASN] = append(s.byASN[r.ASN], idx)
+	}
+	return nil
+}
+
+// AddAll inserts a batch, stopping at the first error.
+func (s *Store) AddAll(rs []Record) error {
+	for i, r := range rs {
+		if err := s.Add(r); err != nil {
+			return fmt.Errorf("dataset: record %d of %d: %w", i+1, len(rs), err)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Datasets returns the distinct dataset names present, sorted.
+func (s *Store) Datasets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for _, r := range s.records {
+		set[r.Dataset] = true
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Regions returns the distinct region codes present, sorted.
+func (s *Store) Regions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byRegion))
+	for r := range s.byRegion {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Filter selects records. Zero values mean "any". RegionPrefix matches a
+// region code or any of its descendants (hierarchical codes share
+// prefixes, "XA-01" matches "XA-01" and "XA-01-002" but not "XA-010").
+type Filter struct {
+	Dataset      string
+	RegionPrefix string
+	ASN          uint32
+	From, To     time.Time // [From, To); zero means unbounded
+	HasMetric    []Metric  // all listed metrics must be present
+}
+
+func (f Filter) matches(r Record) bool {
+	if f.Dataset != "" && r.Dataset != f.Dataset {
+		return false
+	}
+	if f.RegionPrefix != "" && !regionMatch(f.RegionPrefix, r.Region) {
+		return false
+	}
+	if f.ASN != 0 && r.ASN != f.ASN {
+		return false
+	}
+	if !f.From.IsZero() && r.Time.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !r.Time.Before(f.To) {
+		return false
+	}
+	for _, m := range f.HasMetric {
+		if !r.Has(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// regionMatch reports whether code is prefix itself or a hierarchical
+// descendant of it.
+func regionMatch(prefix, code string) bool {
+	if code == prefix {
+		return true
+	}
+	return strings.HasPrefix(code, prefix) && len(code) > len(prefix) && code[len(prefix)] == '-'
+}
+
+// Select returns a copy of all records matching f, in insertion order.
+func (s *Store) Select(f Filter) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, idx := range s.candidates(f) {
+		if r := s.records[idx]; f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Count returns the number of records matching f without copying them.
+func (s *Store) Count(f Filter) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, idx := range s.candidates(f) {
+		if f.matches(s.records[idx]) {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates narrows the scan using indexes where the filter allows.
+// Must be called with the read lock held.
+func (s *Store) candidates(f Filter) []int {
+	if f.ASN != 0 {
+		return s.byASN[f.ASN]
+	}
+	if f.RegionPrefix != "" {
+		if exact, ok := s.byRegion[f.RegionPrefix]; ok && !s.hasDescendants(f.RegionPrefix) {
+			return exact
+		}
+		// Prefix scan across region buckets.
+		var out []int
+		for region, idxs := range s.byRegion {
+			if regionMatch(f.RegionPrefix, region) {
+				out = append(out, idxs...)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	all := make([]int, len(s.records))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+func (s *Store) hasDescendants(prefix string) bool {
+	for region := range s.byRegion {
+		if region != prefix && regionMatch(prefix, region) {
+			return true
+		}
+	}
+	return false
+}
+
+// Values extracts the metric values of all records matching f.
+func (s *Store) Values(f Filter, m Metric) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []float64
+	for _, idx := range s.candidates(f) {
+		r := s.records[idx]
+		if !f.matches(r) {
+			continue
+		}
+		if v, ok := r.Value(m); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Aggregate computes the q-th percentile of metric m over records
+// matching f. It returns stats.ErrNoData when nothing matches.
+func (s *Store) Aggregate(f Filter, m Metric, q float64) (float64, error) {
+	vals := s.Values(f, m)
+	return stats.Percentile(vals, q)
+}
+
+// Summary computes descriptive statistics of metric m over records
+// matching f.
+func (s *Store) Summary(f Filter, m Metric) (stats.Summary, error) {
+	return stats.Summarize(s.Values(f, m))
+}
+
+// GroupKey selects how GroupAggregate buckets records.
+type GroupKey int
+
+// Grouping dimensions.
+const (
+	ByRegion GroupKey = iota
+	ByDataset
+	ByASN
+)
+
+// Group is one bucket of a grouped aggregation.
+type Group struct {
+	Key   string
+	Count int
+	Value float64
+}
+
+// GroupAggregate buckets records matching f by key and computes the q-th
+// percentile of m within each bucket. Buckets with no metric values are
+// omitted. Results are sorted by key.
+func (s *Store) GroupAggregate(f Filter, key GroupKey, m Metric, q float64) ([]Group, error) {
+	s.mu.RLock()
+	buckets := map[string][]float64{}
+	for _, idx := range s.candidates(f) {
+		r := s.records[idx]
+		if !f.matches(r) {
+			continue
+		}
+		v, ok := r.Value(m)
+		if !ok {
+			continue
+		}
+		var k string
+		switch key {
+		case ByRegion:
+			k = r.Region
+		case ByDataset:
+			k = r.Dataset
+		case ByASN:
+			k = fmt.Sprintf("AS%d", r.ASN)
+		default:
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("dataset: unknown group key %d", key)
+		}
+		buckets[k] = append(buckets[k], v)
+	}
+	s.mu.RUnlock()
+
+	out := make([]Group, 0, len(buckets))
+	for k, vals := range buckets {
+		p, err := stats.Percentile(vals, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Group{Key: k, Count: len(vals), Value: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// TimeBounds returns the earliest and latest record timestamps matching
+// f. ok is false when nothing matches.
+func (s *Store) TimeBounds(f Filter) (min, max time.Time, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, idx := range s.candidates(f) {
+		r := s.records[idx]
+		if !f.matches(r) {
+			continue
+		}
+		if !ok || r.Time.Before(min) {
+			min = r.Time
+		}
+		if !ok || r.Time.After(max) {
+			max = r.Time
+		}
+		ok = true
+	}
+	return min, max, ok
+}

@@ -1,0 +1,152 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonDB is the wire form of a DB: flat lists with string-keyed enums,
+// so geography files are hand-editable.
+type jsonDB struct {
+	Regions []jsonRegion `json:"regions"`
+	ISPs    []jsonISP    `json:"isps"`
+	Markets []jsonMarket `json:"markets"`
+}
+
+type jsonRegion struct {
+	Code       string `json:"code"`
+	Name       string `json:"name,omitempty"`
+	Level      string `json:"level"`
+	Character  string `json:"character"`
+	Population int    `json:"population,omitempty"`
+	Parent     string `json:"parent,omitempty"`
+}
+
+type jsonISP struct {
+	ASN  uint32 `json:"asn"`
+	Name string `json:"name"`
+}
+
+type jsonMarket struct {
+	Region string            `json:"region"`
+	Shares []jsonMarketShare `json:"shares"`
+}
+
+type jsonMarketShare struct {
+	ASN   uint32  `json:"asn"`
+	Share float64 `json:"share"`
+}
+
+func levelName(l Level) string { return l.String() }
+
+func parseLevel(s string) (Level, error) {
+	for _, l := range []Level{Country, State, County} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("geo: unknown level %q", s)
+}
+
+func parseCharacter(s string) (Character, error) {
+	for _, c := range []Character{Urban, Suburban, Rural} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("geo: unknown character %q", s)
+}
+
+// WriteJSON serializes the geography. Regions are ordered parents-first
+// so ReadJSON can rebuild incrementally.
+func (db *DB) WriteJSON(w io.Writer) error {
+	var jdb jsonDB
+	// Parents-first: sort by level then code.
+	codes := db.AllRegions()
+	sort.Slice(codes, func(i, j int) bool {
+		a, _ := db.Region(codes[i])
+		b, _ := db.Region(codes[j])
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		return a.Code < b.Code
+	})
+	for _, code := range codes {
+		r, _ := db.Region(code)
+		jdb.Regions = append(jdb.Regions, jsonRegion{
+			Code:       r.Code,
+			Name:       r.Name,
+			Level:      levelName(r.Level),
+			Character:  r.Character.String(),
+			Population: r.Population,
+			Parent:     r.Parent,
+		})
+	}
+	for _, isp := range db.ISPs() {
+		jdb.ISPs = append(jdb.ISPs, jsonISP{ASN: isp.ASN, Name: isp.Name})
+	}
+	for _, code := range codes {
+		shares := db.Market(code)
+		if len(shares) == 0 {
+			continue
+		}
+		m := jsonMarket{Region: code}
+		for _, s := range shares {
+			m.Shares = append(m.Shares, jsonMarketShare{ASN: s.ASN, Share: s.Share})
+		}
+		jdb.Markets = append(jdb.Markets, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jdb)
+}
+
+// ReadJSON parses a geography written by WriteJSON (or hand-authored in
+// the same shape) and validates it.
+func ReadJSON(r io.Reader) (*DB, error) {
+	var jdb jsonDB
+	if err := json.NewDecoder(r).Decode(&jdb); err != nil {
+		return nil, fmt.Errorf("geo: parsing geography: %w", err)
+	}
+	db := NewDB()
+	for _, jr := range jdb.Regions {
+		level, err := parseLevel(jr.Level)
+		if err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", jr.Code, err)
+		}
+		char, err := parseCharacter(jr.Character)
+		if err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", jr.Code, err)
+		}
+		if err := db.AddRegion(Region{
+			Code:       jr.Code,
+			Name:       jr.Name,
+			Level:      level,
+			Character:  char,
+			Population: jr.Population,
+			Parent:     jr.Parent,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, ji := range jdb.ISPs {
+		if err := db.AddISP(ISP{ASN: ji.ASN, Name: ji.Name}); err != nil {
+			return nil, err
+		}
+	}
+	for _, jm := range jdb.Markets {
+		shares := make([]MarketShare, len(jm.Shares))
+		for i, s := range jm.Shares {
+			shares[i] = MarketShare{ASN: s.ASN, Share: s.Share}
+		}
+		if err := db.SetMarket(jm.Region, shares); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

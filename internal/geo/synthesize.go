@@ -1,0 +1,168 @@
+package geo
+
+import (
+	"fmt"
+
+	"iqb/internal/rng"
+)
+
+// SynthSpec configures Synthesize.
+type SynthSpec struct {
+	CountryCode string // e.g. "XA"
+	CountryName string
+	States      int // number of states, >= 1
+	CountiesPer int // counties per state, >= 1
+	ISPs        int // national ISPs, >= 1
+	// UrbanFraction is the probability a county is urban; half of the
+	// remainder is suburban, the rest rural.
+	UrbanFraction float64
+	// MeanCountyPop is the mean county population (log-normal, cv 0.8).
+	MeanCountyPop int
+}
+
+// DefaultSynthSpec returns a 4-state, 12-county synthetic country with
+// three national ISPs, sized for tests and the experiment harness.
+func DefaultSynthSpec() SynthSpec {
+	return SynthSpec{
+		CountryCode:   "XA",
+		CountryName:   "Examplia",
+		States:        4,
+		CountiesPer:   3,
+		ISPs:          3,
+		UrbanFraction: 0.35,
+		MeanCountyPop: 250000,
+	}
+}
+
+var ispNameParts = [][2]string{
+	{"North", "Fiber"}, {"Metro", "Link"}, {"Rural", "Wave"},
+	{"Unified", "Net"}, {"Coastal", "Cable"}, {"Prairie", "Broadband"},
+	{"Summit", "Comm"}, {"Valley", "Online"}, {"Apex", "Telecom"},
+	{"Horizon", "Digital"},
+}
+
+// Synthesize builds a deterministic synthetic geography from the spec and
+// seed source. Urban counties get cable/fiber heavy markets, rural ones
+// DSL/satellite heavy markets; the technology mix itself lives in the
+// netem package and is keyed by Character.
+func Synthesize(spec SynthSpec, src *rng.Source) (*DB, error) {
+	if spec.States < 1 || spec.CountiesPer < 1 || spec.ISPs < 1 {
+		return nil, fmt.Errorf("geo: spec needs >=1 state, county, ISP: %+v", spec)
+	}
+	if spec.CountryCode == "" {
+		return nil, fmt.Errorf("geo: spec needs a country code")
+	}
+	if spec.UrbanFraction < 0 || spec.UrbanFraction > 1 {
+		return nil, fmt.Errorf("geo: urban fraction %v out of [0,1]", spec.UrbanFraction)
+	}
+	if spec.MeanCountyPop <= 0 {
+		spec.MeanCountyPop = 100000
+	}
+	if src == nil {
+		src = rng.New(0)
+	}
+	db := NewDB()
+
+	for i := 0; i < spec.ISPs; i++ {
+		part := ispNameParts[i%len(ispNameParts)]
+		name := part[0] + part[1]
+		if i >= len(ispNameParts) {
+			name = fmt.Sprintf("%s%d", name, i/len(ispNameParts)+1)
+		}
+		if err := db.AddISP(ISP{ASN: 64500 + uint32(i), Name: name}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := db.AddRegion(Region{
+		Code:      spec.CountryCode,
+		Name:      spec.CountryName,
+		Level:     Country,
+		Character: Suburban,
+	}); err != nil {
+		return nil, err
+	}
+
+	countryPop := 0
+	for s := 0; s < spec.States; s++ {
+		stateCode := fmt.Sprintf("%s-%02d", spec.CountryCode, s+1)
+		if err := db.AddRegion(Region{
+			Code:      stateCode,
+			Name:      fmt.Sprintf("State %02d", s+1),
+			Level:     State,
+			Character: Suburban,
+			Parent:    spec.CountryCode,
+		}); err != nil {
+			return nil, err
+		}
+		statePop := 0
+		for c := 0; c < spec.CountiesPer; c++ {
+			countyCode := fmt.Sprintf("%s-%03d", stateCode, c+1)
+			char := Rural
+			switch u := src.Float64(); {
+			case u < spec.UrbanFraction:
+				char = Urban
+			case u < spec.UrbanFraction+(1-spec.UrbanFraction)/2:
+				char = Suburban
+			}
+			pop := int(src.LogNormalFromMoments(float64(spec.MeanCountyPop), 0.8))
+			if char == Urban {
+				pop *= 3
+			}
+			if pop < 1000 {
+				pop = 1000
+			}
+			if err := db.AddRegion(Region{
+				Code:       countyCode,
+				Name:       fmt.Sprintf("County %s-%d", stateCode, c+1),
+				Level:      County,
+				Character:  char,
+				Population: pop,
+				Parent:     stateCode,
+			}); err != nil {
+				return nil, err
+			}
+			statePop += pop
+
+			if err := db.SetMarket(countyCode, synthMarket(db, char, src)); err != nil {
+				return nil, err
+			}
+		}
+		st, _ := db.Region(stateCode)
+		st.Population = statePop
+		countryPop += statePop
+	}
+	root, _ := db.Region(spec.CountryCode)
+	root.Population = countryPop
+
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("geo: synthesized database invalid: %w", err)
+	}
+	return db, nil
+}
+
+// synthMarket draws market shares over the registered ISPs: one or two
+// dominant providers plus a tail, with fewer competitors in rural areas.
+func synthMarket(db *DB, char Character, src *rng.Source) []MarketShare {
+	isps := db.ISPs()
+	n := len(isps)
+	present := n
+	if char == Rural && n > 2 {
+		present = 2 // rural counties typically have fewer choices
+	}
+	// Dirichlet-ish draw: exponential weights, normalized by SetMarket.
+	shares := make([]MarketShare, 0, present)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	src.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for k := 0; k < present; k++ {
+		w := src.Exponential(1) + 0.1
+		if k == 0 {
+			w += 1.5 // a dominant incumbent
+		}
+		shares = append(shares, MarketShare{ASN: isps[perm[k]].ASN, Share: w})
+	}
+	return shares
+}

@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client is a typed client for the IQB API.
+type Client struct {
+	// BaseURL is e.g. "http://127.0.0.1:8600".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// get fetches path and decodes the JSON body into out, translating the
+// API's error envelope.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("httpapi: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("httpapi: reading %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("httpapi: %s: %s (status %d)", path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("httpapi: %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("httpapi: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.get(ctx, "/v1/health", &out)
+	return out, err
+}
+
+// Regions lists the geography.
+func (c *Client) Regions(ctx context.Context) ([]RegionInfo, error) {
+	var out []RegionInfo
+	err := c.get(ctx, "/v1/regions", &out)
+	return out, err
+}
+
+// Score fetches one region's score breakdown.
+func (c *Client) Score(ctx context.Context, region string) (ScoreResponse, error) {
+	var out ScoreResponse
+	err := c.get(ctx, "/v1/score?region="+url.QueryEscape(region), &out)
+	return out, err
+}
+
+// Ranking fetches the county ranking.
+func (c *Client) Ranking(ctx context.Context) ([]RankingRow, error) {
+	var out []RankingRow
+	err := c.get(ctx, "/v1/ranking", &out)
+	return out, err
+}
+
+// Datasets fetches per-dataset record counts.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetCount, error) {
+	var out []DatasetCount
+	err := c.get(ctx, "/v1/datasets", &out)
+	return out, err
+}

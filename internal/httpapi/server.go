@@ -1,0 +1,231 @@
+// Package httpapi exposes IQB scores over a JSON HTTP API, with a typed
+// client. It serves a scored world: a record store, a geography, and a
+// framework configuration.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/v1/health            liveness
+//	/v1/config            the active framework configuration
+//	/v1/regions           region codes with level/character/population
+//	/v1/score?region=R    full score breakdown for a region subtree
+//	/v1/ranking           counties ranked best-first
+//	/v1/datasets          dataset names with record counts
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/geo"
+	"iqb/internal/iqb"
+)
+
+// Server bundles the scored world behind an http.Handler.
+type Server struct {
+	cfg   iqb.Config
+	store *dataset.Store
+	db    *geo.DB
+	log   *slog.Logger
+	mux   *http.ServeMux
+}
+
+// New builds a server. The logger may be nil.
+func New(cfg iqb.Config, store *dataset.Store, db *geo.DB, logger *slog.Logger) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if store == nil || db == nil {
+		return nil, fmt.Errorf("httpapi: store and geography are required")
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{cfg: cfg, store: store, db: db, log: logger, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
+	s.mux.HandleFunc("GET /v1/regions", s.handleRegions)
+	s.mux.HandleFunc("GET /v1/score", s.handleScore)
+	s.mux.HandleFunc("GET /v1/ranking", s.handleRanking)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.registerTimeSeries()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler with logging and panic recovery.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.log.Error("panic in handler", "path", r.URL.Path, "panic", rec)
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+	s.log.Info("request", "method", r.Method, "path", r.URL.Path, "elapsed", time.Since(start))
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but log upstream.
+		return
+	}
+}
+
+// HealthResponse reports liveness and store size.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Records int    `json:"records"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthResponse{Status: "ok", Records: s.store.Len()})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.cfg.WriteJSON(w); err != nil {
+		s.log.Error("writing config", "err", err)
+	}
+}
+
+// RegionInfo is one row of /v1/regions.
+type RegionInfo struct {
+	Code       string `json:"code"`
+	Name       string `json:"name"`
+	Level      string `json:"level"`
+	Character  string `json:"character"`
+	Population int    `json:"population"`
+	Parent     string `json:"parent,omitempty"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	var out []RegionInfo
+	for _, code := range s.db.AllRegions() {
+		reg, _ := s.db.Region(code)
+		out = append(out, RegionInfo{
+			Code:       reg.Code,
+			Name:       reg.Name,
+			Level:      reg.Level.String(),
+			Character:  reg.Character.String(),
+			Population: reg.Population,
+			Parent:     reg.Parent,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// ScoreResponse wraps a region's score.
+type ScoreResponse struct {
+	Region string    `json:"region"`
+	Score  iqb.Score `json:"score"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	region := r.URL.Query().Get("region")
+	if region == "" {
+		writeError(w, http.StatusBadRequest, "region parameter required")
+		return
+	}
+	if _, ok := s.db.Region(region); !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown region %q", region))
+		return
+	}
+	score, err := s.cfg.ScoreRegion(s.store, region, time.Time{}, time.Time{})
+	if err != nil {
+		if errors.Is(err, iqb.ErrNoUsableData) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no usable data for region %q", region))
+			return
+		}
+		s.log.Error("scoring", "region", region, "err", err)
+		writeError(w, http.StatusInternalServerError, "scoring failed")
+		return
+	}
+	writeJSON(w, ScoreResponse{Region: region, Score: score})
+}
+
+// RankingRow is one row of /v1/ranking.
+type RankingRow struct {
+	Rank      int     `json:"rank"`
+	Region    string  `json:"region"`
+	Character string  `json:"character"`
+	IQB       float64 `json:"iqb"`
+	Grade     string  `json:"grade"`
+}
+
+func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
+	type scored struct {
+		code      string
+		character string
+		score     iqb.Score
+	}
+	var rows []scored
+	for _, code := range s.db.Regions(geo.County) {
+		reg, _ := s.db.Region(code)
+		sc, err := s.cfg.ScoreRegion(s.store, code, time.Time{}, time.Time{})
+		if err != nil {
+			if errors.Is(err, iqb.ErrNoUsableData) {
+				continue
+			}
+			s.log.Error("ranking", "region", code, "err", err)
+			writeError(w, http.StatusInternalServerError, "scoring failed")
+			return
+		}
+		rows = append(rows, scored{code, reg.Character.String(), sc})
+	}
+	// Insertion sort: descending score, then code.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0; j-- {
+			if rows[j].score.IQB > rows[j-1].score.IQB ||
+				(rows[j].score.IQB == rows[j-1].score.IQB && rows[j].code < rows[j-1].code) {
+				rows[j], rows[j-1] = rows[j-1], rows[j]
+			} else {
+				break
+			}
+		}
+	}
+	out := make([]RankingRow, len(rows))
+	for i, row := range rows {
+		out[i] = RankingRow{
+			Rank:      i + 1,
+			Region:    row.code,
+			Character: row.character,
+			IQB:       row.score.IQB,
+			Grade:     string(row.score.Grade),
+		}
+	}
+	writeJSON(w, out)
+}
+
+// DatasetCount is one row of /v1/datasets.
+type DatasetCount struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var out []DatasetCount
+	for _, name := range s.store.Datasets() {
+		out = append(out, DatasetCount{
+			Name:    name,
+			Records: s.store.Count(dataset.Filter{Dataset: name}),
+		})
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,110 @@
+package iqb
+
+import (
+	"testing"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/rng"
+)
+
+// ciStore builds a store whose latency values straddle a threshold so
+// bootstrap resamples flip cells.
+func ciStore(t *testing.T, latencies []float64) *dataset.Store {
+	t.Helper()
+	store := dataset.NewStore()
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i, lat := range latencies {
+		for _, ds := range []string{DatasetNDT, DatasetCloudflare} {
+			r := dataset.NewRecord(itoa(i), ds, "XA", ts)
+			r.SetValue(dataset.Download, 500)
+			r.SetValue(dataset.Upload, 100)
+			r.SetValue(dataset.Latency, lat)
+			r.SetValue(dataset.Loss, 0.0005)
+			if err := store.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return store
+}
+
+func TestScoreRegionCIBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	// Latencies straddle the 30 ms gaming bar at the 95th percentile.
+	lats := make([]float64, 40)
+	for i := range lats {
+		lats[i] = 20 + float64(i%3)*8 // 20, 28, 36
+	}
+	store := ciStore(t, lats)
+	ci, err := cfg.ScoreRegionCI(store, "XA", time.Time{}, time.Time{}, 200, 0.95, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Score.IQB+1e-9 || ci.Hi < ci.Score.IQB-1e-9 {
+		t.Errorf("interval [%v, %v] should contain the point %v", ci.Lo, ci.Hi, ci.Score.IQB)
+	}
+	if ci.Lo < 0 || ci.Hi > 1 {
+		t.Errorf("interval [%v, %v] out of [0,1]", ci.Lo, ci.Hi)
+	}
+	if ci.Resamples != 200 || ci.Level != 0.95 {
+		t.Errorf("metadata = %+v", ci)
+	}
+}
+
+func TestScoreRegionCIDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	store := ciStore(t, []float64{20, 25, 28, 33, 36, 40, 22, 27, 31, 35, 24, 29})
+	a, err := cfg.ScoreRegionCI(store, "XA", time.Time{}, time.Time{}, 100, 0.9, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cfg.ScoreRegionCI(store, "XA", time.Time{}, time.Time{}, 100, 0.9, rng.New(7))
+	if a.Lo != b.Lo || a.Hi != b.Hi {
+		t.Error("same seed should reproduce the interval")
+	}
+}
+
+func TestScoreRegionCIWidensNearThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	// Far from every bar: interval collapses to a point.
+	safe := make([]float64, 30)
+	for i := range safe {
+		safe[i] = 10
+	}
+	ciSafe, err := cfg.ScoreRegionCI(ciStore(t, safe), "XA", time.Time{}, time.Time{}, 150, 0.95, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ciSafe.Hi-ciSafe.Lo > 1e-12 {
+		t.Errorf("far-from-threshold interval should be degenerate, got [%v, %v]", ciSafe.Lo, ciSafe.Hi)
+	}
+	// Straddling the bar: ~5% of samples are slow, so the 95th
+	// percentile sits right at the flip point and resamples disagree.
+	mixed := make([]float64, 40)
+	for i := range mixed {
+		mixed[i] = 25
+	}
+	mixed[0], mixed[1] = 37, 37
+	ciMixed, err := cfg.ScoreRegionCI(ciStore(t, mixed), "XA", time.Time{}, time.Time{}, 150, 0.95, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ciMixed.Hi-ciMixed.Lo <= 0 {
+		t.Error("threshold-straddling interval should have positive width")
+	}
+}
+
+func TestScoreRegionCIErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	store := ciStore(t, []float64{20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31})
+	if _, err := cfg.ScoreRegionCI(store, "XA", time.Time{}, time.Time{}, 0, 0.95, nil); err == nil {
+		t.Error("zero resamples should error")
+	}
+	if _, err := cfg.ScoreRegionCI(store, "XA", time.Time{}, time.Time{}, 10, 1.5, nil); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, err := cfg.ScoreRegionCI(dataset.NewStore(), "XA", time.Time{}, time.Time{}, 10, 0.9, nil); err == nil {
+		t.Error("empty store should error")
+	}
+}

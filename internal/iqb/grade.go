@@ -1,0 +1,67 @@
+package iqb
+
+import "fmt"
+
+// Grade is a Nutri-Score-inspired letter band over the IQB score, giving
+// decision-makers the single-glance summary the paper motivates with the
+// credit-score and Nutri-Score analogies.
+type Grade string
+
+// Grade bands, best to worst.
+const (
+	GradeA Grade = "A"
+	GradeB Grade = "B"
+	GradeC Grade = "C"
+	GradeD Grade = "D"
+	GradeE Grade = "E"
+)
+
+// gradeCut holds the inclusive lower bound of each band.
+var gradeCuts = []struct {
+	grade Grade
+	lo    float64
+}{
+	{GradeA, 0.90},
+	{GradeB, 0.75},
+	{GradeC, 0.60},
+	{GradeD, 0.40},
+	{GradeE, 0},
+}
+
+// GradeOf maps a score in [0,1] to its band. Out-of-range scores are
+// clamped.
+func GradeOf(score float64) Grade {
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	for _, c := range gradeCuts {
+		if score >= c.lo {
+			return c.grade
+		}
+	}
+	return GradeE
+}
+
+// Bounds returns the [lo, hi) score interval of the grade; GradeA's upper
+// bound is 1 inclusive.
+func (g Grade) Bounds() (lo, hi float64, err error) {
+	for i, c := range gradeCuts {
+		if c.grade == g {
+			hi := 1.0
+			if i > 0 {
+				hi = gradeCuts[i-1].lo
+			}
+			return c.lo, hi, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("iqb: unknown grade %q", string(g))
+}
+
+// Valid reports whether g is one of the five bands.
+func (g Grade) Valid() bool {
+	_, _, err := g.Bounds()
+	return err == nil
+}

@@ -1,0 +1,203 @@
+package iqb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"iqb/internal/units"
+)
+
+// LeaveOneOut holds the score obtained when one dataset is removed,
+// quantifying how much the composite relies on cross-dataset
+// corroboration (the poster's stated reason for using multiple sources).
+type LeaveOneOut struct {
+	Dataset string  `json:"dataset"`
+	Score   float64 `json:"score"`
+	Delta   float64 `json:"delta"` // Score - full score
+}
+
+// LeaveOneOutAnalysis recomputes the score with each dataset excluded in
+// turn. Datasets whose removal leaves no usable data are skipped.
+func (c Config) LeaveOneOutAnalysis(agg *Aggregates) (full Score, outs []LeaveOneOut, err error) {
+	full, err = c.ScoreAggregates(agg)
+	if err != nil {
+		return Score{}, nil, err
+	}
+	for _, d := range c.Datasets {
+		reduced := c
+		reduced.Datasets = nil
+		for _, other := range c.Datasets {
+			if other.Name != d.Name {
+				reduced.Datasets = append(reduced.Datasets, other)
+			}
+		}
+		// Drop the excluded dataset's weights too.
+		reduced.DatasetWeights = cloneDatasetWeights(c.DatasetWeights)
+		for _, u := range AllUseCases() {
+			for _, r := range AllRequirements() {
+				delete(reduced.DatasetWeights[u][r], d.Name)
+			}
+		}
+		s, err := reduced.ScoreAggregates(agg)
+		if errors.Is(err, ErrNoUsableData) {
+			continue
+		}
+		if err != nil {
+			return Score{}, nil, fmt.Errorf("iqb: leave-one-out without %s: %w", d.Name, err)
+		}
+		outs = append(outs, LeaveOneOut{Dataset: d.Name, Score: s.IQB, Delta: s.IQB - full.IQB})
+	}
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Dataset < outs[j].Dataset })
+	return full, outs, nil
+}
+
+// WeightPerturbation is the score range induced by moving a single
+// requirement weight by ±1 (within the 0..5 scale).
+type WeightPerturbation struct {
+	UseCase     UseCase `json:"-"`
+	UseCaseName string  `json:"use_case"`
+	Requirement string  `json:"requirement"`
+	Base        Weight  `json:"base_weight"`
+	ScoreDown   float64 `json:"score_minus_one"` // weight-1 (or base if at 0)
+	ScoreUp     float64 `json:"score_plus_one"`  // weight+1 (or base if at 5)
+	Range       float64 `json:"range"`
+}
+
+// WeightSensitivity perturbs every Table 1 cell by ±1 and reports the
+// induced score ranges, largest first — experiment E7.
+func (c Config) WeightSensitivity(agg *Aggregates) ([]WeightPerturbation, error) {
+	base, err := c.ScoreAggregates(agg)
+	if err != nil {
+		return nil, err
+	}
+	var out []WeightPerturbation
+	for _, u := range AllUseCases() {
+		for _, r := range AllRequirements() {
+			w := c.RequirementWeights[u][r]
+			p := WeightPerturbation{
+				UseCase: u, UseCaseName: u.String(), Requirement: r.String(),
+				Base: w, ScoreDown: base.IQB, ScoreUp: base.IQB,
+			}
+			if w > 0 {
+				s, err := c.withRequirementWeight(u, r, w-1).ScoreAggregates(agg)
+				if err != nil && !errors.Is(err, ErrNoUsableData) {
+					return nil, err
+				}
+				if err == nil {
+					p.ScoreDown = s.IQB
+				}
+			}
+			if w < 5 {
+				s, err := c.withRequirementWeight(u, r, w+1).ScoreAggregates(agg)
+				if err != nil {
+					return nil, err
+				}
+				p.ScoreUp = s.IQB
+			}
+			lo, hi := p.ScoreDown, p.ScoreUp
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if base.IQB < lo {
+				lo = base.IQB
+			}
+			if base.IQB > hi {
+				hi = base.IQB
+			}
+			p.Range = hi - lo
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Range > out[j].Range })
+	return out, nil
+}
+
+// withRequirementWeight returns a copy of the config with one w(u,r)
+// replaced.
+func (c Config) withRequirementWeight(u UseCase, r Requirement, w Weight) Config {
+	out := c
+	out.RequirementWeights = make(RequirementWeights, len(c.RequirementWeights))
+	for uc, reqs := range c.RequirementWeights {
+		m := make(map[Requirement]Weight, len(reqs))
+		for rr, ww := range reqs {
+			m[rr] = ww
+		}
+		out.RequirementWeights[uc] = m
+	}
+	out.RequirementWeights[u][r] = w
+	return out
+}
+
+// SweepPoint is one point of a threshold sweep.
+type SweepPoint struct {
+	Threshold float64 `json:"threshold"`
+	Score     float64 `json:"score"`
+}
+
+// ThresholdSweep recomputes the score while varying one threshold cell
+// across the given values (at the configured quality level) — experiment
+// E8. The returned points are in input order.
+func (c Config) ThresholdSweep(agg *Aggregates, u UseCase, r Requirement, values []float64) ([]SweepPoint, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("iqb: empty threshold sweep")
+	}
+	out := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		mod := c
+		mod.Thresholds = cloneThresholds(c.Thresholds)
+		b := mod.Thresholds[u][r]
+		higherBetter := RequirementDirection(r) == units.HigherBetter
+		if c.Quality == HighQuality {
+			b.High = v
+			// Keep the band internally consistent so Validate passes.
+			if higherBetter && b.Minimum > b.High {
+				b.Minimum = b.High
+			} else if !higherBetter && b.Minimum < b.High {
+				b.Minimum = b.High
+			}
+		} else {
+			b.Minimum = v
+			if higherBetter && b.High < b.Minimum {
+				b.High = b.Minimum
+			} else if !higherBetter && b.High > b.Minimum {
+				b.High = b.Minimum
+			}
+		}
+		mod.Thresholds[u][r] = b
+		s, err := mod.ScoreAggregates(agg)
+		if err != nil {
+			return nil, fmt.Errorf("iqb: sweep at %v: %w", v, err)
+		}
+		out = append(out, SweepPoint{Threshold: v, Score: s.IQB})
+	}
+	return out, nil
+}
+
+func cloneThresholds(t Thresholds) Thresholds {
+	out := make(Thresholds, len(t))
+	for u, reqs := range t {
+		m := make(map[Requirement]Band, len(reqs))
+		for r, b := range reqs {
+			m[r] = b
+		}
+		out[u] = m
+	}
+	return out
+}
+
+func cloneDatasetWeights(w DatasetWeights) DatasetWeights {
+	out := make(DatasetWeights, len(w))
+	for u, reqs := range w {
+		m := make(map[Requirement]map[string]Weight, len(reqs))
+		for r, cell := range reqs {
+			inner := make(map[string]Weight, len(cell))
+			for name, ww := range cell {
+				inner[name] = ww
+			}
+			m[r] = inner
+		}
+		out[u] = m
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package iqb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/stats"
+)
+
+// AggregateSketcher builds the framework aggregates from a streaming
+// sketch instead of raw records, using the configured percentile and
+// convention. This is the memory-bounded production path; thanks to the
+// binary threshold comparison, the small quantile error of the sketch
+// almost never changes a score.
+func (c Config) AggregateSketcher(sk *dataset.Sketcher, region string) (*Aggregates, error) {
+	if sk == nil {
+		return nil, fmt.Errorf("iqb: nil sketcher")
+	}
+	agg := NewAggregates()
+	for _, d := range c.Datasets {
+		for _, r := range d.Capabilities {
+			q := c.effectivePercentile(r) / 100
+			v, n, err := sk.Quantile(d.Name, region, r, q)
+			if errors.Is(err, stats.ErrNoData) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("iqb: sketch aggregate %s/%v: %w", d.Name, r, err)
+			}
+			agg.Set(d.Name, r, v, n)
+		}
+	}
+	return agg, nil
+}
+
+// ScoreSketcher aggregates and scores one region from a sketch.
+func (c Config) ScoreSketcher(sk *dataset.Sketcher, region string) (Score, error) {
+	agg, err := c.AggregateSketcher(sk, region)
+	if err != nil {
+		return Score{}, err
+	}
+	return c.ScoreAggregates(agg)
+}
+
+// TimePoint is one window of a score time series.
+type TimePoint struct {
+	From  time.Time `json:"from"`
+	To    time.Time `json:"to"`
+	Score Score     `json:"score"`
+	// NoData marks windows with no usable measurements.
+	NoData bool `json:"no_data,omitempty"`
+}
+
+// ScoreWindows scores a region over consecutive windows of the given
+// width between start and end, returning one point per window. Windows
+// without usable data are marked NoData rather than failing the series.
+func (c Config) ScoreWindows(store *dataset.Store, region string, start, end time.Time, window time.Duration) ([]TimePoint, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("iqb: window must be positive, got %v", window)
+	}
+	if !start.Before(end) {
+		return nil, fmt.Errorf("iqb: start %v not before end %v", start, end)
+	}
+	var out []TimePoint
+	for from := start; from.Before(end); from = from.Add(window) {
+		to := from.Add(window)
+		if to.After(end) {
+			to = end
+		}
+		score, err := c.ScoreRegion(store, region, from, to)
+		if errors.Is(err, ErrNoUsableData) {
+			out = append(out, TimePoint{From: from, To: to, NoData: true})
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("iqb: window %v: %w", from, err)
+		}
+		out = append(out, TimePoint{From: from, To: to, Score: score})
+	}
+	return out, nil
+}
+
+// HourBucket is one hour-of-day slice of a diurnal score profile.
+type HourBucket struct {
+	FromHour int   `json:"from_hour"` // inclusive
+	ToHour   int   `json:"to_hour"`   // exclusive
+	Records  int   `json:"records"`
+	Score    Score `json:"score"`
+	NoData   bool  `json:"no_data,omitempty"`
+}
+
+// ScoreByHourOfDay buckets a region's records into hour-of-day bands of
+// the given width (which must divide 24) and scores each band — the
+// "does evening congestion move the composite" view.
+func (c Config) ScoreByHourOfDay(store *dataset.Store, region string, bandHours int) ([]HourBucket, error) {
+	if bandHours <= 0 || 24%bandHours != 0 {
+		return nil, fmt.Errorf("iqb: band width %d must divide 24", bandHours)
+	}
+	records := store.Select(dataset.Filter{RegionPrefix: region})
+	buckets := make([]*dataset.Store, 24/bandHours)
+	counts := make([]int, len(buckets))
+	for i := range buckets {
+		buckets[i] = dataset.NewStore()
+	}
+	for _, r := range records {
+		b := r.Time.UTC().Hour() / bandHours
+		if err := buckets[b].Add(r); err != nil {
+			return nil, fmt.Errorf("iqb: bucketing record %s: %w", r.ID, err)
+		}
+		counts[b]++
+	}
+	out := make([]HourBucket, len(buckets))
+	for i := range buckets {
+		out[i] = HourBucket{FromHour: i * bandHours, ToHour: (i + 1) * bandHours, Records: counts[i]}
+		score, err := c.ScoreRegion(buckets[i], region, time.Time{}, time.Time{})
+		if errors.Is(err, ErrNoUsableData) {
+			out[i].NoData = true
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("iqb: scoring hour band %d: %w", i, err)
+		}
+		out[i].Score = score
+	}
+	return out, nil
+}

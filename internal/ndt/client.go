@@ -1,0 +1,181 @@
+package ndt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/units"
+)
+
+// TestResult is the client-side outcome of a full NDT measurement
+// (download + upload + latency), ready to become a dataset record.
+type TestResult struct {
+	DownloadMbps float64
+	UploadMbps   float64
+	MinRTTms     float64
+	LossRate     float64
+	// Measurements counts the interim server snapshots received.
+	Measurements int
+}
+
+// Client runs tests against a Server.
+type Client struct {
+	// Addr is the server address.
+	Addr string
+	// Duration overrides the standard test duration (for tests).
+	Duration time.Duration
+	// UploadRate paces the client's upload frames; it plays the role of
+	// the subscriber's upstream link. Zero means unshaped.
+	UploadRate units.Throughput
+	// Dialer allows tests to inject timeouts.
+	Dialer net.Dialer
+}
+
+// Run executes download then upload and merges the results. The
+// download's loss rate and min RTT are preferred, matching how the NDT
+// pipeline derives record fields.
+func (c *Client) Run(ctx context.Context) (TestResult, error) {
+	down, err := c.runOne(ctx, "download")
+	if err != nil {
+		return TestResult{}, fmt.Errorf("ndt: download: %w", err)
+	}
+	up, err := c.runOne(ctx, "upload")
+	if err != nil {
+		return TestResult{}, fmt.Errorf("ndt: upload: %w", err)
+	}
+	res := TestResult{
+		DownloadMbps: down.clientMbps,
+		UploadMbps:   up.serverResult.Mbps,
+		MinRTTms:     down.serverResult.MinRTTms,
+		LossRate:     down.serverResult.LossRate,
+		Measurements: down.measurements + up.measurements,
+	}
+	if up.serverResult.MinRTTms > 0 && (res.MinRTTms == 0 || up.serverResult.MinRTTms < res.MinRTTms) {
+		res.MinRTTms = up.serverResult.MinRTTms
+	}
+	return res, nil
+}
+
+// oneResult carries one direction's outcome.
+type oneResult struct {
+	serverResult Result
+	clientMbps   float64
+	measurements int
+}
+
+func (c *Client) runOne(ctx context.Context, test string) (oneResult, error) {
+	conn, err := c.Dialer.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return oneResult{}, fmt.Errorf("dialing %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+
+	duration := c.Duration
+	if duration <= 0 {
+		duration = TestDuration
+	}
+	deadline := time.Now().Add(duration + 15*time.Second)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return oneResult{}, err
+	}
+
+	req := Request{Test: test, DurationMS: duration.Milliseconds()}
+	if err := writeJSONFrame(conn, frameRequest, req); err != nil {
+		return oneResult{}, err
+	}
+	switch test {
+	case "download":
+		return c.receiveDownload(conn)
+	case "upload":
+		return c.sendUpload(conn, duration)
+	default:
+		return oneResult{}, fmt.Errorf("unknown test %q", test)
+	}
+}
+
+// receiveDownload consumes frames until the final result, measuring
+// client-side goodput.
+func (c *Client) receiveDownload(conn net.Conn) (oneResult, error) {
+	var out oneResult
+	var bytes int64
+	start := time.Now()
+	var buf []byte
+	for {
+		typ, payload, err := readFrame(conn, buf)
+		if err != nil {
+			return oneResult{}, fmt.Errorf("reading download frame: %w", err)
+		}
+		buf = payload[:0]
+		switch typ {
+		case frameData:
+			bytes += int64(len(payload))
+		case frameMeasurement:
+			out.measurements++
+		case frameResult:
+			if err := json.Unmarshal(payload, &out.serverResult); err != nil {
+				return oneResult{}, fmt.Errorf("bad result frame: %w", err)
+			}
+			out.clientMbps = units.ThroughputFromTransfer(bytes, time.Since(start)).Mbps()
+			return out, nil
+		default:
+			return oneResult{}, fmt.Errorf("unexpected frame type %d", typ)
+		}
+	}
+}
+
+// sendUpload pushes paced data frames for the duration, signals
+// completion, and reads the server's verdict.
+func (c *Client) sendUpload(conn net.Conn, duration time.Duration) (oneResult, error) {
+	var shaper *netem.Shaper
+	if c.UploadRate > 0 {
+		var err error
+		shaper, err = netem.NewShaper(c.UploadRate)
+		if err != nil {
+			return oneResult{}, err
+		}
+	}
+	chunk := make([]byte, 32<<10)
+	start := time.Now()
+	for time.Since(start) < duration {
+		if shaper != nil {
+			shaper.Pace(len(chunk))
+		}
+		if err := writeFrame(conn, frameData, chunk); err != nil {
+			return oneResult{}, fmt.Errorf("writing upload frame: %w", err)
+		}
+	}
+	// Signal end of upload with an empty result frame.
+	if err := writeFrame(conn, frameResult, nil); err != nil {
+		return oneResult{}, fmt.Errorf("finishing upload: %w", err)
+	}
+	var out oneResult
+	var buf []byte
+	for {
+		typ, payload, err := readFrame(conn, buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return oneResult{}, fmt.Errorf("server closed before result")
+			}
+			return oneResult{}, err
+		}
+		buf = payload[:0]
+		if typ == frameResult {
+			if err := json.Unmarshal(payload, &out.serverResult); err != nil {
+				return oneResult{}, fmt.Errorf("bad result frame: %w", err)
+			}
+			return out, nil
+		}
+		if typ == frameMeasurement {
+			out.measurements++
+		}
+	}
+}

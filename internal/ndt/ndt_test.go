@@ -1,0 +1,349 @@
+package ndt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/tcpmodel"
+	"iqb/internal/units"
+)
+
+func testPath() netem.Path {
+	return netem.Path{
+		Tech:     netem.Cable,
+		DownMbps: 80,
+		UpMbps:   20,
+		BaseRTT:  units.LatencyFromMillis(18),
+		JitterMS: 4,
+		Loss:     0.001,
+		BloatMS:  80,
+		Shared:   0.5,
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello measurement world")
+	if err := writeFrame(&buf, frameMeasurement, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameMeasurement || string(got) != string(payload) {
+		t.Errorf("round trip = %d %q", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameResult, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf, nil)
+	if err != nil || typ != frameResult || len(got) != 0 {
+		t.Errorf("empty frame = %d %v %v", typ, got, err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameData, make([]byte, maxFrame+1)); err == nil {
+		t.Error("oversized write should error")
+	}
+	// A forged header announcing a huge frame must be rejected.
+	buf.Reset()
+	buf.Write([]byte{frameData, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := readFrame(&buf, nil); err == nil {
+		t.Error("forged huge frame should error")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameData, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-3] // cut payload short
+	if _, _, err := readFrame(bytes.NewReader(raw), nil); err == nil {
+		t.Error("truncated frame should error")
+	}
+}
+
+func TestWriteJSONFrame(t *testing.T) {
+	var buf bytes.Buffer
+	m := Measurement{ElapsedMS: 250, Bytes: 12345, RTTms: 20.5}
+	if err := writeJSONFrame(&buf, frameMeasurement, m); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf, nil)
+	if err != nil || typ != frameMeasurement {
+		t.Fatal(err)
+	}
+	var back Measurement
+	if err := json.Unmarshal(payload, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Errorf("round trip = %+v, want %+v", back, m)
+	}
+}
+
+func TestNewServerValidatesPath(t *testing.T) {
+	if _, err := NewServer(netem.Path{}, 0.3, 1, nil); err == nil {
+		t.Error("invalid path should error")
+	}
+}
+
+// TestLiveDownloadUpload runs a complete client-server measurement over
+// localhost with a 1-second test duration.
+func TestLiveDownloadUpload(t *testing.T) {
+	srv, err := NewServer(testPath(), 0.3, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &Client{
+		Addr:       addr.String(),
+		Duration:   time.Second,
+		UploadRate: 20 * units.Mbps,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := client.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The path is 80 Mbps down: the measured rate must be within the
+	// emulated envelope, far below loopback's multi-Gbps.
+	if res.DownloadMbps <= 1 || res.DownloadMbps > 85 {
+		t.Errorf("download = %v Mbps, want within emulated envelope (1, 85]", res.DownloadMbps)
+	}
+	if res.UploadMbps <= 1 || res.UploadMbps > 25 {
+		t.Errorf("upload = %v Mbps, want within (1, 25]", res.UploadMbps)
+	}
+	if res.MinRTTms < 14 { // base RTT is 18ms with 0.8x draw floor ~14.4
+		t.Errorf("min RTT = %v ms, below emulated base", res.MinRTTms)
+	}
+	if res.LossRate < 0 || res.LossRate > 0.05 {
+		t.Errorf("loss = %v, out of plausible band", res.LossRate)
+	}
+	if res.Measurements == 0 {
+		t.Error("expected interim measurement frames")
+	}
+}
+
+func TestLiveDownloadIsShaped(t *testing.T) {
+	// A 5 Mbps path must measurably throttle a 1-second download.
+	slow := testPath()
+	slow.DownMbps = 5
+	slow.UpMbps = 2
+	srv, err := NewServer(slow, 0.1, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &Client{Addr: addr.String(), Duration: time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := client.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps > 6 {
+		t.Errorf("download = %v Mbps through a 5 Mbps path", res.DownloadMbps)
+	}
+}
+
+func TestServerRejectsBadRequest(t *testing.T) {
+	srv, err := NewServer(testPath(), 0.3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Unknown test name: server closes without a result frame.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeJSONFrame(conn, frameRequest, Request{Test: "teleport"}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := readFrame(conn, nil); err == nil {
+		t.Error("server should close on unknown test")
+	}
+
+	// Wrong first frame type.
+	conn2, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := writeFrame(conn2, frameData, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := readFrame(conn2, nil); err == nil {
+		t.Error("server should close on non-request first frame")
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	client := &Client{Addr: "127.0.0.1:1", Duration: 100 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := client.Run(ctx); err == nil {
+		t.Error("dialing a dead port should error")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := NewServer(testPath(), 0.3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close should be a no-op, got %v", err)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	res, err := Simulate(testPath(), 0.3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps <= 0 || res.DownloadMbps > 80 {
+		t.Errorf("download = %v", res.DownloadMbps)
+	}
+	if res.UploadMbps <= 0 || res.UploadMbps > 20 {
+		t.Errorf("upload = %v", res.UploadMbps)
+	}
+	if res.UploadMbps >= res.DownloadMbps {
+		t.Errorf("cable upload %v should trail download %v", res.UploadMbps, res.DownloadMbps)
+	}
+	if res.MinRTTms < 14 {
+		t.Errorf("min RTT = %v below base", res.MinRTTms)
+	}
+	if res.LossRate < 0 || res.LossRate > 0.1 {
+		t.Errorf("loss = %v", res.LossRate)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(testPath(), 0.4, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate(testPath(), 0.4, rng.New(9))
+	if a != b {
+		t.Error("same seed should reproduce")
+	}
+}
+
+func TestToRecord(t *testing.T) {
+	res := TestResult{DownloadMbps: 50, UploadMbps: 10, MinRTTms: 25, LossRate: 0.002}
+	now := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	rec, err := res.ToRecord("t1", "XA-01-001", 64500, "cable", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dataset != "ndt" || rec.DownloadMbps != 50 || rec.LossFrac != 0.002 {
+		t.Errorf("record = %+v", rec)
+	}
+	// Invalid derived record surfaces the validation error.
+	bad := TestResult{DownloadMbps: -1}
+	if _, err := bad.ToRecord("t2", "XA", 0, "", now); err == nil {
+		t.Error("negative download should fail validation")
+	}
+}
+
+func TestLiveMatchesSimulatedEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live comparison in -short mode")
+	}
+	// The live shaped transfer and the pure simulation should land in the
+	// same ballpark for the same path (within 3x either way given the
+	// short 1s live duration).
+	p := testPath()
+	srv, err := NewServer(p, 0.3, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &Client{Addr: addr.String(), Duration: time.Second, UploadRate: units.Throughput(p.UpMbps)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	live, err := client.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(p, 0.3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := live.DownloadMbps / sim.DownloadMbps
+	if ratio < 0.33 || ratio > 3 {
+		t.Errorf("live %v vs simulated %v Mbps diverge by %vx", live.DownloadMbps, sim.DownloadMbps, ratio)
+	}
+}
+
+func TestRequestJSONShape(t *testing.T) {
+	b, err := json.Marshal(Request{Test: "download", DurationMS: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"test":"download"`) {
+		t.Errorf("request JSON = %s", b)
+	}
+}
+
+func TestSimulateWithLawReno(t *testing.T) {
+	lossy := testPath()
+	lossy.Loss = 0.005
+	bbr, err := SimulateWithLaw(lossy, 0.3, tcpmodel.LawBBR, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reno, err := SimulateWithLaw(lossy, 0.3, tcpmodel.LawReno, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reno.DownloadMbps >= bbr.DownloadMbps {
+		t.Errorf("lossy path: reno NDT %v should under-report vs bbr %v",
+			reno.DownloadMbps, bbr.DownloadMbps)
+	}
+}

@@ -1,0 +1,276 @@
+package ndt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/tcpmodel"
+	"iqb/internal/units"
+)
+
+// Server is an NDT-style measurement server. Each accepted connection
+// runs one download or upload test, paced according to the configured
+// netem path so the measured numbers reflect the emulated access network.
+type Server struct {
+	path netem.Path
+	rho  float64
+	seed uint64
+	log  *slog.Logger
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer builds a server emulating the given path at utilization rho.
+// The seed makes the emulated counters reproducible; logger may be nil.
+func NewServer(path netem.Path, rho float64, seed uint64, logger *slog.Logger) (*Server, error) {
+	if err := path.Validate(); err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Server{path: path, rho: rho, seed: seed, log: logger}, nil
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Serve loops until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ndt: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for connID := uint64(0); ; connID++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.log.Error("ndt accept", "err", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func(c net.Conn, id uint64) {
+			defer s.wg.Done()
+			defer c.Close()
+			if err := s.handle(c, id); err != nil && !errors.Is(err, io.EOF) {
+				s.log.Error("ndt session", "err", err)
+			}
+		}(conn, connID)
+	}
+}
+
+// Close stops the listener and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one test session on an accepted connection.
+func (s *Server) handle(conn net.Conn, connID uint64) error {
+	if err := conn.SetDeadline(time.Now().Add(2 * TestDuration)); err != nil {
+		return fmt.Errorf("ndt: setting deadline: %w", err)
+	}
+	typ, payload, err := readFrame(conn, nil)
+	if err != nil {
+		return err
+	}
+	if typ != frameRequest {
+		return fmt.Errorf("ndt: expected request frame, got type %d", typ)
+	}
+	var req Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return fmt.Errorf("ndt: bad request: %w", err)
+	}
+	duration := TestDuration
+	if req.DurationMS > 0 {
+		duration = time.Duration(req.DurationMS) * time.Millisecond
+	}
+	if err := conn.SetDeadline(time.Now().Add(duration + 10*time.Second)); err != nil {
+		return fmt.Errorf("ndt: extending deadline: %w", err)
+	}
+	src := rng.New(s.seed).Fork(fmt.Sprintf("conn-%d", connID))
+	switch req.Test {
+	case "download":
+		return s.serveDownload(conn, duration, src)
+	case "upload":
+		return s.serveUpload(conn, duration, src)
+	default:
+		return fmt.Errorf("ndt: unknown test %q", req.Test)
+	}
+}
+
+// emulatedCounters tracks the synthetic TCPInfo the server reports: the
+// real wire is loopback, so RTT and retransmits come from the path model.
+type emulatedCounters struct {
+	minRTT  float64
+	lastRTT float64
+	retrans int64
+	sent    int64
+}
+
+func (e *emulatedCounters) observe(st netem.State, bytes int, src *rng.Source) {
+	rtt := st.RTT.Milliseconds()
+	e.lastRTT = rtt
+	if e.minRTT == 0 || rtt < e.minRTT {
+		e.minRTT = rtt
+	}
+	segs := int64(bytes / tcpmodel.MSS)
+	if segs < 1 {
+		segs = 1
+	}
+	e.sent += segs
+	e.retrans += int64(src.Poisson(float64(segs) * float64(st.Loss)))
+}
+
+func (e *emulatedCounters) lossRate() float64 {
+	if e.sent == 0 {
+		return 0
+	}
+	return float64(e.retrans) / float64(e.sent)
+}
+
+// serveDownload pushes paced data frames plus measurement frames and a
+// final result.
+func (s *Server) serveDownload(conn net.Conn, duration time.Duration, src *rng.Source) error {
+	st := s.path.Observe(s.rho, src)
+	shaper, err := netem.NewShaper(st.AvailDown)
+	if err != nil {
+		return err
+	}
+	chunk := make([]byte, 64<<10)
+	var counters emulatedCounters
+	var sent, observed int64
+	start := time.Now()
+	lastMeasure := start
+	measurements := 0
+
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= duration {
+			break
+		}
+		if time.Since(lastMeasure) >= measureInterval {
+			st = s.path.Observe(s.rho, src)
+			shaper.SetRate(st.AvailDown)
+			counters.observe(st, int(sent-observed), src)
+			observed = sent
+			m := Measurement{
+				ElapsedMS:    elapsed.Milliseconds(),
+				Bytes:        sent,
+				RTTms:        counters.lastRTT,
+				MinRTTms:     counters.minRTT,
+				Retransmits:  counters.retrans,
+				SegmentsSent: counters.sent,
+			}
+			if err := writeJSONFrame(conn, frameMeasurement, m); err != nil {
+				return err
+			}
+			lastMeasure = time.Now()
+			measurements++
+		}
+		n := len(chunk)
+		shaper.Pace(n)
+		if err := writeFrame(conn, frameData, chunk[:n]); err != nil {
+			return err
+		}
+		sent += int64(n)
+	}
+	if counters.minRTT == 0 {
+		counters.observe(s.path.Observe(s.rho, src), int(sent-observed), src)
+	}
+	elapsed := time.Since(start)
+	res := Result{
+		Test:         "download",
+		Mbps:         units.ThroughputFromTransfer(sent, elapsed).Mbps(),
+		MinRTTms:     counters.minRTT,
+		LossRate:     counters.lossRate(),
+		Bytes:        sent,
+		DurationMS:   elapsed.Milliseconds(),
+		Measurements: measurements,
+	}
+	return writeJSONFrame(conn, frameResult, res)
+}
+
+// serveUpload receives data frames; the client paces. The server tallies
+// and reports.
+func (s *Server) serveUpload(conn net.Conn, duration time.Duration, src *rng.Source) error {
+	var counters emulatedCounters
+	var received, observed int64
+	start := time.Now()
+	lastMeasure := start
+	measurements := 0
+	buf := make([]byte, 0, 64<<10)
+
+	for {
+		typ, payload, err := readFrame(conn, buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		buf = payload[:0]
+		switch typ {
+		case frameData:
+			received += int64(len(payload))
+		case frameResult:
+			// Client signals it is done sending.
+			goto done
+		default:
+			return fmt.Errorf("ndt: unexpected frame type %d during upload", typ)
+		}
+		if time.Since(lastMeasure) >= measureInterval {
+			st := s.path.Observe(s.rho, src)
+			counters.observe(st, int(received-observed), src)
+			observed = received
+			lastMeasure = time.Now()
+			measurements++
+		}
+		if time.Since(start) > duration+5*time.Second {
+			return fmt.Errorf("ndt: upload overran its duration")
+		}
+	}
+done:
+	if counters.minRTT == 0 {
+		counters.observe(s.path.Observe(s.rho, src), int(math.Max(float64(received-observed), 1)), src)
+	}
+	elapsed := time.Since(start)
+	res := Result{
+		Test:         "upload",
+		Mbps:         units.ThroughputFromTransfer(received, elapsed).Mbps(),
+		MinRTTms:     counters.minRTT,
+		LossRate:     counters.lossRate(),
+		Bytes:        received,
+		DurationMS:   elapsed.Milliseconds(),
+		Measurements: measurements,
+	}
+	return writeJSONFrame(conn, frameResult, res)
+}

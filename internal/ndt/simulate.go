@@ -1,0 +1,70 @@
+package ndt
+
+import (
+	"fmt"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/tcpmodel"
+)
+
+// Simulate produces the result an NDT test would report for a subscriber
+// on the given path at utilization rho, without sockets: a 10-second
+// single-stream download, a 10-second upload, and the download's loss
+// and min-RTT counters — the same derivation the live client uses.
+// The sender is BBR, matching the NDT7 measurement stack.
+func Simulate(path netem.Path, rho float64, src *rng.Source) (TestResult, error) {
+	return SimulateWithLaw(path, rho, tcpmodel.LawBBR, src)
+}
+
+// SimulateWithLaw is Simulate with an explicit congestion-control law,
+// allowing the NDT5-era (Reno) measurement stack to be reproduced for
+// methodology ablations.
+func SimulateWithLaw(path netem.Path, rho float64, law tcpmodel.ControlLaw, src *rng.Source) (TestResult, error) {
+	down, err := tcpmodel.Run(path, tcpmodel.Config{
+		Direction: tcpmodel.Download,
+		Law:       law,
+		Duration:  TestDuration,
+		Rho:       rho,
+	}, src)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("ndt: simulating download: %w", err)
+	}
+	up, err := tcpmodel.Run(path, tcpmodel.Config{
+		Direction: tcpmodel.Upload,
+		Law:       law,
+		Duration:  TestDuration,
+		Rho:       rho,
+	}, src)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("ndt: simulating upload: %w", err)
+	}
+	minRTT := down.MinRTT
+	if up.MinRTT > 0 && up.MinRTT < minRTT {
+		minRTT = up.MinRTT
+	}
+	return TestResult{
+		DownloadMbps: down.Goodput.Mbps(),
+		UploadMbps:   up.Goodput.Mbps(),
+		MinRTTms:     minRTT.Milliseconds(),
+		LossRate:     float64(down.LossRate()),
+		Measurements: len(down.RTTSamples) + len(up.RTTSamples),
+	}, nil
+}
+
+// ToRecord converts a test result into the unified dataset schema.
+func (r TestResult) ToRecord(id, region string, asn uint32, tech string, t time.Time) (dataset.Record, error) {
+	rec := dataset.NewRecord(id, "ndt", region, t)
+	rec.ASN = asn
+	rec.Tech = tech
+	rec.SetValue(dataset.Download, r.DownloadMbps)
+	rec.SetValue(dataset.Upload, r.UploadMbps)
+	rec.SetValue(dataset.Latency, r.MinRTTms)
+	rec.SetValue(dataset.Loss, r.LossRate)
+	if err := rec.Validate(); err != nil {
+		return dataset.Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,135 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+
+	"iqb/internal/rng"
+	"iqb/internal/units"
+)
+
+// Path is one subscriber's concrete last-mile path, drawn from a Profile.
+// It is immutable; per-observation variation comes from Observe.
+type Path struct {
+	Tech     Tech
+	DownMbps float64 // subscribed/peak downstream rate
+	UpMbps   float64
+	BaseRTT  units.Latency
+	JitterMS float64
+	Loss     units.LossRate // random loss floor
+	BloatMS  float64
+	Shared   float64
+}
+
+// DrawPath instantiates a subscriber path from a profile. Quality is a
+// multiplier (default 1) that models ISP-level investment differences;
+// it scales rates up and bufferbloat down.
+func DrawPath(p Profile, quality float64, src *rng.Source) Path {
+	if quality <= 0 {
+		quality = 1
+	}
+	down := src.LogNormalFromMoments(p.DownMbps*quality, p.RateCV)
+	up := src.LogNormalFromMoments(p.UpMbps*quality, p.RateCV)
+	// Upstream can never exceed downstream for asymmetric techs; allow
+	// near-symmetry for fiber.
+	if up > down {
+		up = down * src.Range(0.8, 1.0)
+	}
+	baseRTT := p.BaseRTTms * src.Range(0.8, 1.3)
+	return Path{
+		Tech:     p.Tech,
+		DownMbps: math.Max(down, 0.5),
+		UpMbps:   math.Max(up, 0.25),
+		BaseRTT:  units.LatencyFromMillis(baseRTT),
+		JitterMS: p.JitterMS,
+		Loss:     p.RandomLoss,
+		BloatMS:  p.BloatMS / quality,
+		Shared:   p.Shared,
+	}
+}
+
+// State is the instantaneous condition of a path under a given load.
+type State struct {
+	AvailDown units.Throughput
+	AvailUp   units.Throughput
+	RTT       units.Latency
+	Loss      units.LossRate
+}
+
+// Observe samples the path state at neighborhood utilization rho in
+// [0, 1): available capacity shrinks on shared media, queueing delay
+// grows like rho/(1-rho) scaled by the bloat constant, and congestion
+// loss kicks in above 80% utilization.
+func (p Path) Observe(rho float64, src *rng.Source) State {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 0.99 {
+		rho = 0.99
+	}
+	capFactor := 1 - p.Shared*rho*0.6 // shared media erode under load
+	availDown := p.DownMbps * capFactor * src.Range(0.92, 1.0)
+	availUp := p.UpMbps * capFactor * src.Range(0.92, 1.0)
+
+	queueMS := p.BloatMS * rho / (1 - rho) * src.Range(0.5, 1.5)
+	if queueMS > 2000 {
+		queueMS = 2000
+	}
+	jitter := math.Abs(src.Normal(0, p.JitterMS))
+	rttMS := p.BaseRTT.Milliseconds() + queueMS + jitter
+
+	congLoss := 0.0
+	if rho > 0.8 {
+		over := (rho - 0.8) / 0.2
+		congLoss = 0.02 * over * over
+	}
+	loss := float64(p.Loss)*src.Range(0.5, 2.0) + congLoss
+	if loss > 1 {
+		loss = 1
+	}
+	return State{
+		AvailDown: units.Throughput(availDown),
+		AvailUp:   units.Throughput(availUp),
+		RTT:       units.LatencyFromMillis(rttMS),
+		Loss:      units.LossRate(loss),
+	}
+}
+
+// Validate checks path invariants.
+func (p Path) Validate() error {
+	if p.DownMbps <= 0 || p.UpMbps <= 0 {
+		return fmt.Errorf("netem: non-positive capacity %v/%v", p.DownMbps, p.UpMbps)
+	}
+	if p.BaseRTT <= 0 {
+		return fmt.Errorf("netem: non-positive base RTT %v", p.BaseRTT)
+	}
+	if !p.Loss.Valid() {
+		return fmt.Errorf("netem: invalid loss %v", p.Loss)
+	}
+	if p.Shared < 0 || p.Shared > 1 {
+		return fmt.Errorf("netem: shared factor %v out of [0,1]", p.Shared)
+	}
+	return nil
+}
+
+// Diurnal returns the neighborhood utilization for an hour of day
+// [0, 24): a morning shoulder, an afternoon plateau, and the evening
+// "Netflix peak" around 21:00, bottoming out near 04:00.
+func Diurnal(hour float64) float64 {
+	hour = math.Mod(hour, 24)
+	if hour < 0 {
+		hour += 24
+	}
+	// Sum of two Gaussians over the night-time floor.
+	evening := 0.42 * math.Exp(-sq(hour-21)/(2*sq(2.5)))
+	// The evening peak wraps past midnight.
+	eveningWrap := 0.42 * math.Exp(-sq(hour+24-21)/(2*sq(2.5)))
+	midday := 0.20 * math.Exp(-sq(hour-14)/(2*sq(4)))
+	u := 0.12 + evening + eveningWrap + midday
+	if u > 0.85 {
+		u = 0.85
+	}
+	return u
+}
+
+func sq(x float64) float64 { return x * x }

@@ -1,0 +1,88 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"iqb/internal/units"
+)
+
+// Shaper is a token-bucket rate limiter used by the live measurement
+// servers to pace transfers at a Path's available rate, so that a real
+// TCP client measures the emulated capacity rather than the loopback
+// interface. It is safe for concurrent use.
+type Shaper struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket depth in bytes
+	tokens float64
+	last   time.Time
+}
+
+// NewShaper builds a shaper for the given rate. The burst defaults to
+// 64 KiB or 10 ms of the rate, whichever is larger, which keeps pacing
+// smooth without letting the loopback burst distort short measurements.
+func NewShaper(rate units.Throughput) (*Shaper, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("netem: shaper rate must be positive, got %v", rate)
+	}
+	bps := rate.BytesPerSecond()
+	burst := bps / 100
+	if burst < 64<<10 {
+		burst = 64 << 10
+	}
+	return &Shaper{rate: bps, burst: burst, tokens: burst}, nil
+}
+
+// SetRate updates the shaping rate; the bucket keeps its tokens.
+func (s *Shaper) SetRate(rate units.Throughput) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rate > 0 {
+		s.rate = rate.BytesPerSecond()
+	}
+}
+
+// Rate returns the current shaping rate.
+func (s *Shaper) Rate() units.Throughput {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return units.Throughput(s.rate * 8 / 1e6)
+}
+
+// Reserve consumes n bytes of budget at time now and returns how long the
+// caller should wait before sending them. A zero return means "send
+// immediately".
+func (s *Shaper) Reserve(n int, now time.Time) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last.IsZero() {
+		s.last = now
+	}
+	elapsed := now.Sub(s.last).Seconds()
+	if elapsed > 0 {
+		s.tokens += elapsed * s.rate
+		if s.tokens > s.burst {
+			s.tokens = s.burst
+		}
+		s.last = now
+	}
+	s.tokens -= float64(n)
+	if s.tokens >= 0 {
+		return 0
+	}
+	deficit := -s.tokens
+	return time.Duration(deficit / s.rate * float64(time.Second))
+}
+
+// Pace sleeps as required to send n bytes, using the real clock. It is a
+// convenience for the live servers.
+func (s *Shaper) Pace(n int) {
+	if d := s.Reserve(n, time.Now()); d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,190 @@
+package ookla
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/units"
+)
+
+// Client runs a multi-connection test against a Server.
+type Client struct {
+	Addr string
+	// Bytes is the per-flow transfer size. Zero defaults to 4 MB.
+	Bytes int64
+	// Pings is the latency sample count. Zero defaults to 10.
+	Pings int
+	// UploadRate paces the aggregate upload across flows.
+	UploadRate units.Throughput
+}
+
+// Run executes pings, a parallel download, and a parallel upload.
+func (c *Client) Run(ctx context.Context) (TestResult, error) {
+	bytes := c.Bytes
+	if bytes <= 0 {
+		bytes = 4 << 20
+	}
+	pings := c.Pings
+	if pings <= 0 {
+		pings = 10
+	}
+
+	var res TestResult
+	minRTT := 0.0
+	for i := 0; i < pings; i++ {
+		rtt, err := c.ping(ctx)
+		if err != nil {
+			return TestResult{}, fmt.Errorf("ookla: ping %d: %w", i, err)
+		}
+		if minRTT == 0 || rtt < minRTT {
+			minRTT = rtt
+		}
+	}
+	res.LatencyMS = minRTT
+
+	down, err := c.parallel(ctx, bytes, c.downloadOne)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("ookla: download: %w", err)
+	}
+	res.DownloadMbps = down
+
+	up, err := c.parallel(ctx, bytes, c.uploadOne)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("ookla: upload: %w", err)
+	}
+	res.UploadMbps = up
+	return res, nil
+}
+
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(2 * TestDuration)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (c *Client) ping(ctx context.Context) (float64, error) {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := io.WriteString(conn, "PING\n"); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start)) / float64(time.Millisecond), nil
+}
+
+// parallel runs one transfer per flow concurrently and returns the
+// aggregate throughput.
+func (c *Client) parallel(ctx context.Context, bytes int64, one func(context.Context, int64) (int64, error)) (float64, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int64
+		first error
+	)
+	start := time.Now()
+	for i := 0; i < Flows; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := one(ctx, bytes)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && first == nil {
+				first = err
+			}
+			total += n
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return 0, first
+	}
+	return units.ThroughputFromTransfer(total, time.Since(start)).Mbps(), nil
+}
+
+func (c *Client) downloadOne(ctx context.Context, bytes int64) (int64, error) {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "DOWNLOAD %d\n", bytes); err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(io.Discard, conn)
+	if err != nil {
+		return n, err
+	}
+	if n != bytes {
+		return n, fmt.Errorf("got %d of %d bytes", n, bytes)
+	}
+	return n, nil
+}
+
+func (c *Client) uploadOne(ctx context.Context, bytes int64) (int64, error) {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "UPLOAD\n"); err != nil {
+		return 0, err
+	}
+	var shaper *netem.Shaper
+	if c.UploadRate > 0 {
+		perFlow := units.Throughput(c.UploadRate.Mbps() / Flows)
+		shaper, err = netem.NewShaper(perFlow)
+		if err != nil {
+			return 0, err
+		}
+	}
+	chunk := make([]byte, 32<<10)
+	var sent int64
+	for sent < bytes {
+		n := int64(len(chunk))
+		if n > bytes-sent {
+			n = bytes - sent
+		}
+		if shaper != nil {
+			shaper.Pace(int(n))
+		}
+		if _, err := conn.Write(chunk[:n]); err != nil {
+			return sent, err
+		}
+		sent += n
+	}
+	// Half-close to signal EOF, then read the server's acknowledgement.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return sent, err
+		}
+	}
+	ack := make([]byte, 64)
+	if _, err := conn.Read(ack); err != nil && err != io.EOF {
+		return sent, fmt.Errorf("reading ack: %w", err)
+	}
+	return sent, nil
+}

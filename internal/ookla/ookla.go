@@ -1,0 +1,176 @@
+// Package ookla implements an Ookla-style measurement system: a
+// multi-connection transfer test (several parallel TCP flows, unlike
+// NDT's single stream) whose results are not published raw but as
+// region-level aggregates — and, matching Ookla's public open data, the
+// aggregates carry no packet-loss column. The IQB dataset weights have to
+// cope with that gap, which is exactly the behaviour this substrate
+// preserves.
+package ookla
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/units"
+)
+
+// Flows is the number of parallel connections the test opens.
+const Flows = 4
+
+// TestDuration is the standard transfer duration per direction.
+const TestDuration = 15 * time.Second
+
+// TestResult is one subscriber's raw multi-connection test outcome.
+// It is an input to the Publisher, never a dataset record by itself.
+type TestResult struct {
+	DownloadMbps float64
+	UploadMbps   float64
+	LatencyMS    float64 // min of latency samples, Ookla-style
+}
+
+// Server is a minimal line-command transfer server. Each connection
+// accepts one command:
+//
+//	DOWNLOAD <bytes>\n — server streams that many shaped bytes
+//	UPLOAD\n           — server discards until EOF, replies with count
+//	PING\n             — server replies PONG after one emulated RTT
+//
+// The per-connection share of the path is capacity/Flows, emulating the
+// parallel flows splitting the same bottleneck.
+type Server struct {
+	path netem.Path
+	rho  float64
+	seed uint64
+	log  *slog.Logger
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer builds a server emulating path at utilization rho.
+func NewServer(path netem.Path, rho float64, seed uint64, logger *slog.Logger) (*Server, error) {
+	if err := path.Validate(); err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Server{path: path, rho: rho, seed: seed, log: logger}, nil
+}
+
+// Listen binds addr and serves until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ookla: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for id := uint64(0); ; id++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				if !errors.Is(err, net.ErrClosed) {
+					s.log.Error("ookla accept", "err", err)
+				}
+				return
+			}
+			s.wg.Add(1)
+			go func(c net.Conn, id uint64) {
+				defer s.wg.Done()
+				defer c.Close()
+				if err := s.handle(c, id); err != nil && !errors.Is(err, io.EOF) {
+					s.log.Error("ookla session", "err", err)
+				}
+			}(conn, id)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and waits for sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn, id uint64) error {
+	if err := conn.SetDeadline(time.Now().Add(2 * TestDuration)); err != nil {
+		return err
+	}
+	src := rng.New(s.seed).Fork(fmt.Sprintf("conn-%d", id))
+	r := bufio.NewReader(io.LimitReader(conn, 1<<30))
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	st := s.path.Observe(s.rho, src)
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return fmt.Errorf("ookla: empty command")
+	}
+	switch fields[0] {
+	case "PING":
+		time.Sleep(st.RTT.Duration())
+		_, err := io.WriteString(conn, "PONG\n")
+		return err
+	case "DOWNLOAD":
+		if len(fields) != 2 {
+			return fmt.Errorf("ookla: DOWNLOAD needs a byte count")
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n <= 0 || n > 1<<32 {
+			return fmt.Errorf("ookla: bad byte count %q", fields[1])
+		}
+		// Each of the client's parallel flows gets a fair share.
+		share := units.Throughput(st.AvailDown.Mbps() / Flows)
+		shaper, err := netem.NewShaper(share)
+		if err != nil {
+			return err
+		}
+		chunk := make([]byte, 64<<10)
+		for n > 0 {
+			c := int64(len(chunk))
+			if c > n {
+				c = n
+			}
+			shaper.Pace(int(c))
+			if _, err := conn.Write(chunk[:c]); err != nil {
+				return err
+			}
+			n -= c
+		}
+		return nil
+	case "UPLOAD":
+		count, err := io.Copy(io.Discard, r)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(conn, "OK %d\n", count)
+		return err
+	default:
+		return fmt.Errorf("ookla: unknown command %q", fields[0])
+	}
+}

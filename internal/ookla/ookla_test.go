@@ -1,0 +1,270 @@
+package ookla
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/units"
+)
+
+func testPath() netem.Path {
+	return netem.Path{
+		Tech:     netem.Cable,
+		DownMbps: 60,
+		UpMbps:   15,
+		BaseRTT:  units.LatencyFromMillis(15),
+		JitterMS: 3,
+		Loss:     0.0005,
+		BloatMS:  60,
+		Shared:   0.5,
+	}
+}
+
+func TestNewServerValidates(t *testing.T) {
+	if _, err := NewServer(netem.Path{}, 0.2, 1, nil); err == nil {
+		t.Error("invalid path should error")
+	}
+}
+
+func startServer(t *testing.T, path netem.Path) string {
+	t.Helper()
+	srv, err := NewServer(path, 0.2, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+func TestLiveMultiConnection(t *testing.T) {
+	addr := startServer(t, testPath())
+	client := &Client{
+		Addr:       addr,
+		Bytes:      512 << 10, // keep the live test quick
+		Pings:      3,
+		UploadRate: 15 * units.Mbps,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := client.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps <= 0 || res.DownloadMbps > 65 {
+		t.Errorf("download = %v Mbps for a 60 Mbps path", res.DownloadMbps)
+	}
+	if res.UploadMbps <= 0 || res.UploadMbps > 25 {
+		t.Errorf("upload = %v Mbps", res.UploadMbps)
+	}
+	if res.LatencyMS < 10 {
+		t.Errorf("latency = %v ms below emulated floor", res.LatencyMS)
+	}
+}
+
+func TestServerCommandErrors(t *testing.T) {
+	addr := startServer(t, testPath())
+	for _, cmd := range []string{"FLY\n", "DOWNLOAD\n", "DOWNLOAD abc\n", "DOWNLOAD -5\n", "\n"} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(cmd)); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 16)
+		if n, _ := conn.Read(buf); n > 0 {
+			t.Errorf("command %q should not produce output, got %q", strings.TrimSpace(cmd), buf[:n])
+		}
+		conn.Close()
+	}
+}
+
+func TestServerPing(t *testing.T) {
+	addr := startServer(t, testPath())
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("PING\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "PONG\n" {
+		t.Errorf("reply = %q", buf)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("PING should be delayed by the emulated RTT")
+	}
+}
+
+func TestClientDeadServer(t *testing.T) {
+	client := &Client{Addr: "127.0.0.1:1", Bytes: 1024, Pings: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := client.Run(ctx); err == nil {
+		t.Error("dead server should error")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	res, err := Simulate(testPath(), 0.3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps <= 0 || res.DownloadMbps > 60 {
+		t.Errorf("download = %v", res.DownloadMbps)
+	}
+	if res.UploadMbps <= 0 || res.UploadMbps > 15 {
+		t.Errorf("upload = %v", res.UploadMbps)
+	}
+	if res.LatencyMS < 10 {
+		t.Errorf("latency = %v", res.LatencyMS)
+	}
+}
+
+func TestSimulateMultiFlowBeatsSingleOnLossyPath(t *testing.T) {
+	// The multi-connection methodology should be at least as good as a
+	// single stream on the same lossy path (it recovers independently).
+	lossy := testPath()
+	lossy.Loss = 0.01
+	multi, err := Simulate(lossy, 0.4, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.DownloadMbps <= 0 {
+		t.Error("multi-flow download should be positive")
+	}
+}
+
+func TestQuarterOf(t *testing.T) {
+	cases := []struct {
+		m    time.Month
+		want string
+	}{
+		{time.January, "2025Q1"}, {time.March, "2025Q1"},
+		{time.April, "2025Q2"}, {time.June, "2025Q2"},
+		{time.July, "2025Q3"}, {time.December, "2025Q4"},
+	}
+	for _, tc := range cases {
+		ts := time.Date(2025, tc.m, 15, 0, 0, 0, 0, time.UTC)
+		if got := quarterOf(ts); got != tc.want {
+			t.Errorf("quarterOf(%v) = %q, want %q", tc.m, got, tc.want)
+		}
+	}
+	qs := quarterStart(time.Date(2025, time.May, 20, 13, 0, 0, 0, time.UTC))
+	if qs != time.Date(2025, time.April, 1, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("quarterStart = %v", qs)
+	}
+}
+
+func TestPublisher(t *testing.T) {
+	p := NewPublisher()
+	base := time.Date(2025, 5, 1, 0, 0, 0, 0, time.UTC)
+	// Two regions; region A has 3 samples, region B only 1.
+	for i, down := range []float64{100, 110, 120} {
+		err := p.Add(RawSample{
+			Region: "XA-01-001", ASN: 64500,
+			Time:   base.Add(time.Duration(i) * time.Hour),
+			Result: TestResult{DownloadMbps: down, UploadMbps: down / 10, LatencyMS: 20 + float64(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Add(RawSample{
+		Region: "XA-01-002", ASN: 64500, Time: base,
+		Result: TestResult{DownloadMbps: 5, UploadMbps: 1, LatencyMS: 80},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Errorf("Len = %d", p.Len())
+	}
+
+	recs, err := p.Publish(2) // suppress groups under 2 samples
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want 1 aggregate (small group suppressed), got %d", len(recs))
+	}
+	r := recs[0]
+	if r.Dataset != "ookla" || r.Region != "XA-01-001" || r.ASN != 64500 {
+		t.Errorf("aggregate = %+v", r)
+	}
+	if r.DownloadMbps != 110 { // mean of 100,110,120
+		t.Errorf("mean download = %v, want 110", r.DownloadMbps)
+	}
+	if r.LatencyMS != 21 { // median of 20,21,22
+		t.Errorf("median latency = %v, want 21", r.LatencyMS)
+	}
+	if r.Has(dataset.Loss) {
+		t.Error("ookla aggregates must not carry loss")
+	}
+	if !strings.Contains(r.ID, "2025Q2") {
+		t.Errorf("aggregate ID = %q should carry the quarter", r.ID)
+	}
+	if !r.Time.Equal(time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("aggregate time = %v, want quarter start", r.Time)
+	}
+
+	// minSamples 1 publishes both groups.
+	recs, err = p.Publish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("want 2 aggregates, got %d", len(recs))
+	}
+}
+
+func TestPublisherAddErrors(t *testing.T) {
+	p := NewPublisher()
+	if err := p.Add(RawSample{ASN: 1, Time: time.Now()}); err == nil {
+		t.Error("missing region should error")
+	}
+	if err := p.Add(RawSample{Region: "XA"}); err == nil {
+		t.Error("missing time should error")
+	}
+}
+
+func TestPublisherDeterministicOrder(t *testing.T) {
+	mk := func() *Publisher {
+		p := NewPublisher()
+		ts := time.Date(2025, 2, 1, 0, 0, 0, 0, time.UTC)
+		for _, region := range []string{"XA-02-001", "XA-01-001", "XA-01-002"} {
+			p.Add(RawSample{Region: region, ASN: 64500, Time: ts, Result: TestResult{DownloadMbps: 10, UploadMbps: 1, LatencyMS: 20}})
+		}
+		return p
+	}
+	a, err := mk().Publish(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := mk().Publish(1)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("publish order not deterministic")
+		}
+	}
+	if a[0].Region != "XA-01-001" {
+		t.Errorf("first aggregate = %s, want sorted order", a[0].Region)
+	}
+}

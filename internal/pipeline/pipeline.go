@@ -1,0 +1,369 @@
+// Package pipeline orchestrates the full IQB data path end to end:
+// synthesize a geography and subscriber population, schedule measurement
+// tests over a time window with diurnal load, run the three measurement
+// systems (NDT-style, Cloudflare-style, Ookla-style) for each scheduled
+// test, collect the records into a store — Ookla via its aggregate
+// publisher — and score every region with the IQB framework.
+//
+// Execution is deterministic for a fixed Spec: every job derives its own
+// random stream from the spec seed, so worker scheduling cannot perturb
+// results.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"iqb/internal/cfspeed"
+	"iqb/internal/dataset"
+	"iqb/internal/geo"
+	"iqb/internal/iqb"
+	"iqb/internal/ndt"
+	"iqb/internal/netem"
+	"iqb/internal/ookla"
+	"iqb/internal/rng"
+)
+
+// Spec configures a pipeline run.
+type Spec struct {
+	// Geo shapes the synthetic country.
+	Geo geo.SynthSpec
+	// Seed drives all randomness.
+	Seed uint64
+	// Start is the beginning of the measurement window.
+	Start time.Time
+	// Days is the window length in days.
+	Days int
+	// TestsPerCounty is the approximate number of tests per county per
+	// dataset over the window.
+	TestsPerCounty int
+	// ISPQualitySpread draws a per-ISP quality multiplier in
+	// [1-spread, 1+spread], modelling investment differences.
+	ISPQualitySpread float64
+	// Workers bounds concurrent test execution; 0 means GOMAXPROCS.
+	Workers int
+	// OoklaMinGroup is the publisher's suppression threshold.
+	OoklaMinGroup int
+}
+
+// DefaultSpec returns a laptop-scale run: the default geography, one
+// week, 120 tests per county per dataset.
+func DefaultSpec() Spec {
+	return Spec{
+		Geo:              geo.DefaultSynthSpec(),
+		Seed:             42,
+		Start:            time.Date(2025, 6, 2, 0, 0, 0, 0, time.UTC),
+		Days:             7,
+		TestsPerCounty:   120,
+		ISPQualitySpread: 0.25,
+		OoklaMinGroup:    5,
+	}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Days < 1 {
+		return fmt.Errorf("pipeline: days %d must be >= 1", s.Days)
+	}
+	if s.TestsPerCounty < 1 {
+		return fmt.Errorf("pipeline: tests per county %d must be >= 1", s.TestsPerCounty)
+	}
+	if s.Start.IsZero() {
+		return fmt.Errorf("pipeline: start time required")
+	}
+	if s.ISPQualitySpread < 0 || s.ISPQualitySpread >= 1 {
+		return fmt.Errorf("pipeline: quality spread %v out of [0,1)", s.ISPQualitySpread)
+	}
+	return nil
+}
+
+// World is the synthesized ground truth: geography plus per-ISP quality.
+type World struct {
+	DB         *geo.DB
+	Profiles   map[netem.Tech]netem.Profile
+	ISPQuality map[uint32]float64
+}
+
+// BuildWorld synthesizes the geography and ISP qualities for a spec.
+func BuildWorld(spec Spec) (*World, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(spec.Seed)
+	db, err := geo.Synthesize(spec.Geo, root.Fork("geo"))
+	if err != nil {
+		return nil, err
+	}
+	qsrc := root.Fork("isp-quality")
+	quality := map[uint32]float64{}
+	for _, isp := range db.ISPs() {
+		quality[isp.ASN] = qsrc.Range(1-spec.ISPQualitySpread, 1+spec.ISPQualitySpread)
+	}
+	return &World{
+		DB:         db,
+		Profiles:   netem.DefaultProfiles(),
+		ISPQuality: quality,
+	}, nil
+}
+
+// Subscriber is one synthetic household: a region, an ISP, a technology,
+// and a concrete path.
+type Subscriber struct {
+	Region string
+	ASN    uint32
+	Tech   netem.Tech
+	Path   netem.Path
+}
+
+// DrawSubscriber samples a subscriber in the given county: ISP by market
+// share, technology by the county character's mix, and a concrete path
+// from the technology profile scaled by the ISP's quality.
+func (w *World) DrawSubscriber(county string, src *rng.Source) (Subscriber, error) {
+	region, ok := w.DB.Region(county)
+	if !ok {
+		return Subscriber{}, fmt.Errorf("pipeline: unknown county %q", county)
+	}
+	market := w.DB.Market(county)
+	if len(market) == 0 {
+		return Subscriber{}, fmt.Errorf("pipeline: county %q has no market", county)
+	}
+	weights := make([]float64, len(market))
+	for i, m := range market {
+		weights[i] = m.Share
+	}
+	asn := market[src.Categorical(weights)].ASN
+
+	mix := netem.DefaultMixFor(region.Character)
+	tech := mix.Draw(src)
+	path := netem.DrawPath(w.Profiles[tech], w.ISPQuality[asn], src)
+	return Subscriber{Region: county, ASN: asn, Tech: tech, Path: path}, nil
+}
+
+// job is one scheduled test.
+type job struct {
+	id      int
+	dataset string
+	county  string
+	at      time.Time
+}
+
+// Result carries everything a run produces.
+type Result struct {
+	World *World
+	Store *dataset.Store
+	// Counts tallies records per dataset name.
+	Counts map[string]int
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+// Run executes the full pipeline.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	world, err := BuildWorld(spec)
+	if err != nil {
+		return nil, err
+	}
+	started := time.Now()
+
+	// Deterministic job list: per county, per dataset, a Poisson-ish
+	// schedule of tests across the window, biased toward evening hours
+	// because measurement volume follows usage.
+	jobs := buildJobs(world, spec)
+
+	store := dataset.NewStore()
+	publisher := ookla.NewPublisher()
+	var pubMu sync.Mutex
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if err := runJob(world, spec, j, store, publisher, &pubMu); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, j := range jobs {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		case jobCh <- j:
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Publish the Ookla aggregates into the store.
+	aggregates, err := publisher.Publish(spec.OoklaMinGroup)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: publishing ookla aggregates: %w", err)
+	}
+	if err := store.AddAll(aggregates); err != nil {
+		return nil, fmt.Errorf("pipeline: storing ookla aggregates: %w", err)
+	}
+
+	counts := map[string]int{}
+	for _, name := range store.Datasets() {
+		counts[name] = store.Count(dataset.Filter{Dataset: name})
+	}
+	return &Result{
+		World:   world,
+		Store:   store,
+		Counts:  counts,
+		Elapsed: time.Since(started),
+	}, nil
+}
+
+// runJob executes one scheduled test deterministically.
+func runJob(world *World, spec Spec, j job, store *dataset.Store, pub *ookla.Publisher, pubMu *sync.Mutex) error {
+	src := rng.New(spec.Seed).Fork(fmt.Sprintf("job-%d", j.id))
+	sub, err := world.DrawSubscriber(j.county, src)
+	if err != nil {
+		return err
+	}
+	hour := float64(j.at.Hour()) + float64(j.at.Minute())/60
+	rho := netem.Diurnal(hour) * src.Range(0.8, 1.2)
+	if rho > 0.9 {
+		rho = 0.9
+	}
+
+	switch j.dataset {
+	case "ndt":
+		res, err := ndt.Simulate(sub.Path, rho, src)
+		if err != nil {
+			return err
+		}
+		rec, err := res.ToRecord(fmt.Sprintf("ndt-%d", j.id), sub.Region, sub.ASN, sub.Tech.String(), j.at)
+		if err != nil {
+			return err
+		}
+		return store.Add(rec)
+	case "cloudflare":
+		res, err := cfspeed.Simulate(sub.Path, rho, src)
+		if err != nil {
+			return err
+		}
+		rec, err := res.ToRecord(fmt.Sprintf("cf-%d", j.id), sub.Region, sub.ASN, sub.Tech.String(), j.at)
+		if err != nil {
+			return err
+		}
+		return store.Add(rec)
+	case "ookla":
+		res, err := ookla.Simulate(sub.Path, rho, src)
+		if err != nil {
+			return err
+		}
+		pubMu.Lock()
+		defer pubMu.Unlock()
+		return pub.Add(ookla.RawSample{Region: sub.Region, ASN: sub.ASN, Time: j.at, Result: res})
+	default:
+		return fmt.Errorf("pipeline: unknown dataset %q", j.dataset)
+	}
+}
+
+// RegionScore pairs a region with its score.
+type RegionScore struct {
+	Region    string
+	Character geo.Character
+	Score     iqb.Score
+}
+
+// ScoreAll scores every county in the result plus each state and the
+// country (hierarchical region prefixes pick up descendants' records).
+func (r *Result) ScoreAll(cfg iqb.Config) (map[string]iqb.Score, error) {
+	scores := map[string]iqb.Score{}
+	for _, code := range r.World.DB.AllRegions() {
+		s, err := cfg.ScoreRegion(r.Store, code, time.Time{}, time.Time{})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: scoring %s: %w", code, err)
+		}
+		scores[code] = s
+	}
+	return scores, nil
+}
+
+// RankCounties returns county scores sorted best-first.
+func (r *Result) RankCounties(cfg iqb.Config) ([]RegionScore, error) {
+	var out []RegionScore
+	for _, code := range r.World.DB.Regions(geo.County) {
+		s, err := cfg.ScoreRegion(r.Store, code, time.Time{}, time.Time{})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: scoring %s: %w", code, err)
+		}
+		region, _ := r.World.DB.Region(code)
+		out = append(out, RegionScore{Region: code, Character: region.Character, Score: s})
+	}
+	// Stable sort by score descending, then code for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Score.IQB > a.Score.IQB || (b.Score.IQB == a.Score.IQB && b.Region < a.Region) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// ISPScore pairs an ISP with its country-wide score and the simulation's
+// ground-truth quality multiplier, enabling rank-recovery checks.
+type ISPScore struct {
+	ASN         uint32
+	Name        string
+	TrueQuality float64
+	Score       iqb.Score
+}
+
+// RankISPs scores each ISP across the whole country, best first.
+func (r *Result) RankISPs(cfg iqb.Config) ([]ISPScore, error) {
+	var out []ISPScore
+	for _, isp := range r.World.DB.ISPs() {
+		s, err := cfg.ScoreFiltered(r.Store, dataset.Filter{ASN: isp.ASN})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: scoring AS%d: %w", isp.ASN, err)
+		}
+		out = append(out, ISPScore{
+			ASN:         isp.ASN,
+			Name:        isp.Name,
+			TrueQuality: r.World.ISPQuality[isp.ASN],
+			Score:       s,
+		})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Score.IQB > a.Score.IQB || (b.Score.IQB == a.Score.IQB && b.ASN < a.ASN) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"iqb/internal/cfspeed"
+	"iqb/internal/dataset"
+	"iqb/internal/geo"
+	"iqb/internal/iqb"
+	"iqb/internal/ndt"
+	"iqb/internal/netem"
+	"iqb/internal/ookla"
+	"iqb/internal/rng"
+)
+
+// StreamingResult is the memory-bounded counterpart of Result: raw
+// records are folded into t-digest sketches at ingestion time and never
+// retained.
+type StreamingResult struct {
+	World  *World
+	Sketch *dataset.Sketcher
+	// Ingested counts records folded per dataset name.
+	Ingested map[string]int
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+// RunStreaming executes the same workload as Run but through the
+// sketch-based ingestion path — the mode a production deployment
+// ingesting archives too large to hold would use. The job schedule,
+// subscriber draws, and simulated tests are identical to Run for the
+// same spec, so sketch-vs-exact comparisons (experiment E11) isolate the
+// aggregation data structure.
+func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
+	world, err := BuildWorld(spec)
+	if err != nil {
+		return nil, err
+	}
+	started := time.Now()
+
+	jobs := buildJobs(world, spec)
+	sketch := dataset.NewSketcher(300)
+	publisher := ookla.NewPublisher()
+	var mu sync.Mutex
+	ingested := map[string]int{}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				rec, raw, err := produceRecord(world, spec, j)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if raw != nil {
+					mu.Lock()
+					err = publisher.Add(*raw)
+					mu.Unlock()
+					if err != nil {
+						fail(err)
+						return
+					}
+					continue
+				}
+				if err := sketch.Ingest(rec); err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				ingested[rec.Dataset]++
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for _, j := range jobs {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		case jobCh <- j:
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	aggregates, err := publisher.Publish(spec.OoklaMinGroup)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: publishing ookla aggregates: %w", err)
+	}
+	for _, rec := range aggregates {
+		if err := sketch.Ingest(rec); err != nil {
+			return nil, fmt.Errorf("pipeline: sketching ookla aggregate: %w", err)
+		}
+		ingested[rec.Dataset]++
+	}
+	return &StreamingResult{
+		World:    world,
+		Sketch:   sketch,
+		Ingested: ingested,
+		Elapsed:  time.Since(started),
+	}, nil
+}
+
+// buildJobs constructs the deterministic job schedule shared by Run and
+// RunStreaming.
+func buildJobs(world *World, spec Spec) []job {
+	root := rng.New(spec.Seed)
+	sched := root.Fork("schedule")
+	window := time.Duration(spec.Days) * 24 * time.Hour
+	var jobs []job
+	id := 0
+	for _, county := range world.DB.Regions(geo.County) {
+		for _, ds := range []string{"ndt", "cloudflare", "ookla"} {
+			n := sched.Poisson(float64(spec.TestsPerCounty))
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				var at time.Time
+				for {
+					at = spec.Start.Add(time.Duration(sched.Float64() * float64(window)))
+					hour := float64(at.Hour()) + float64(at.Minute())/60
+					if sched.Bool(0.25 + netem.Diurnal(hour)) {
+						break
+					}
+				}
+				jobs = append(jobs, job{id: id, dataset: ds, county: county, at: at})
+				id++
+			}
+		}
+	}
+	return jobs
+}
+
+// produceRecord runs one scheduled test and returns either a dataset
+// record (ndt/cloudflare) or a raw ookla sample destined for the
+// publisher.
+func produceRecord(world *World, spec Spec, j job) (dataset.Record, *ookla.RawSample, error) {
+	src := rng.New(spec.Seed).Fork(fmt.Sprintf("job-%d", j.id))
+	sub, err := world.DrawSubscriber(j.county, src)
+	if err != nil {
+		return dataset.Record{}, nil, err
+	}
+	hour := float64(j.at.Hour()) + float64(j.at.Minute())/60
+	rho := netem.Diurnal(hour) * src.Range(0.8, 1.2)
+	if rho > 0.9 {
+		rho = 0.9
+	}
+	switch j.dataset {
+	case "ndt":
+		res, err := ndt.Simulate(sub.Path, rho, src)
+		if err != nil {
+			return dataset.Record{}, nil, err
+		}
+		rec, err := res.ToRecord(fmt.Sprintf("ndt-%d", j.id), sub.Region, sub.ASN, sub.Tech.String(), j.at)
+		return rec, nil, err
+	case "cloudflare":
+		res, err := cfspeed.Simulate(sub.Path, rho, src)
+		if err != nil {
+			return dataset.Record{}, nil, err
+		}
+		rec, err := res.ToRecord(fmt.Sprintf("cf-%d", j.id), sub.Region, sub.ASN, sub.Tech.String(), j.at)
+		return rec, nil, err
+	case "ookla":
+		res, err := ookla.Simulate(sub.Path, rho, src)
+		if err != nil {
+			return dataset.Record{}, nil, err
+		}
+		return dataset.Record{}, &ookla.RawSample{Region: sub.Region, ASN: sub.ASN, Time: j.at, Result: res}, nil
+	default:
+		return dataset.Record{}, nil, fmt.Errorf("pipeline: unknown dataset %q", j.dataset)
+	}
+}
+
+// ScoreAll scores every region from the sketch.
+func (r *StreamingResult) ScoreAll(cfg iqb.Config) (map[string]iqb.Score, error) {
+	scores := map[string]iqb.Score{}
+	for _, code := range r.World.DB.AllRegions() {
+		s, err := cfg.ScoreSketcher(r.Sketch, code)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: sketch-scoring %s: %w", code, err)
+		}
+		scores[code] = s
+	}
+	return scores, nil
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"iqb/internal/iqb"
+)
+
+// WriteScoresCSV exports region scores as CSV: one row per region with
+// the composite plus every use-case score, suitable for spreadsheets and
+// downstream plotting.
+func WriteScoresCSV(w io.Writer, scores map[string]iqb.Score) error {
+	cw := csv.NewWriter(w)
+	header := []string{"region", "iqb", "grade", "coverage"}
+	for _, u := range iqb.AllUseCases() {
+		header = append(header, u.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	regions := make([]string, 0, len(scores))
+	for region := range scores {
+		regions = append(regions, region)
+	}
+	sort.Strings(regions)
+	for _, region := range regions {
+		s := scores[region]
+		row := []string{
+			region,
+			strconv.FormatFloat(s.IQB, 'f', 6, 64),
+			string(s.Grade),
+			strconv.FormatFloat(s.Coverage, 'f', 4, 64),
+		}
+		for _, u := range iqb.AllUseCases() {
+			uc, ok := s.UseCaseByName(u)
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(uc.Score, 'f', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV row for %s: %w", region, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScoreMarkdown exports one region's score breakdown as a markdown
+// document with the use-case table and per-requirement detail.
+func WriteScoreMarkdown(w io.Writer, region string, s iqb.Score) error {
+	fmt.Fprintf(w, "# IQB score: %s\n\n", region)
+	fmt.Fprintf(w, "**Score %.3f — grade %s** (quality bar: %s, cell coverage %.0f%%)\n\n",
+		s.IQB, s.Grade, s.Quality, s.Coverage*100)
+	fmt.Fprintln(w, "| Use case | Score | Weight |")
+	fmt.Fprintln(w, "|---|---:|---:|")
+	for _, uc := range s.UseCases {
+		fmt.Fprintf(w, "| %s | %.3f | %d |\n", uc.Name, uc.Score, uc.Weight)
+	}
+	fmt.Fprintln(w)
+	for _, uc := range s.UseCases {
+		fmt.Fprintf(w, "## %s (%.3f)\n\n", uc.Name, uc.Score)
+		fmt.Fprintln(w, "| Requirement | Agreement | Dataset | Aggregate | Threshold | Verdict |")
+		fmt.Fprintln(w, "|---|---:|---|---:|---:|---|")
+		for _, rs := range uc.Requirements {
+			for i, cell := range rs.Datasets {
+				reqCol, agrCol := "", ""
+				if i == 0 {
+					reqCol = rs.Name
+					agrCol = fmt.Sprintf("%.2f", rs.Agreement)
+					if rs.Missing {
+						agrCol = "-"
+					}
+				}
+				verdict := "meets"
+				if cell.Missing {
+					verdict = "no data"
+				} else if !cell.Met {
+					verdict = "fails"
+				}
+				agg := "-"
+				if !cell.Missing {
+					agg = fmt.Sprintf("%.3f", cell.Aggregate)
+				}
+				fmt.Fprintf(w, "| %s | %s | %s | %s | %.3f | %s |\n",
+					reqCol, agrCol, cell.Dataset, agg, cell.Threshold, verdict)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteTimeSeriesCSV exports a score time series as CSV.
+func WriteTimeSeriesCSV(w io.Writer, points []iqb.TimePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"from", "to", "iqb", "grade", "no_data"}); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	for _, p := range points {
+		row := []string{
+			p.From.UTC().Format("2006-01-02T15:04:05Z"),
+			p.To.UTC().Format("2006-01-02T15:04:05Z"),
+			strconv.FormatFloat(p.Score.IQB, 'f', 6, 64),
+			string(p.Score.Grade),
+			strconv.FormatBool(p.NoData),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+

@@ -1,0 +1,169 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"iqb/internal/iqb"
+	"iqb/internal/units"
+)
+
+// RenderTable1 reproduces the paper's Table 1: network requirement
+// weights across use cases.
+func RenderTable1(w io.Writer, weights iqb.RequirementWeights) error {
+	if _, err := fmt.Fprintln(w, "Table 1: Network requirement weights across use cases."); err != nil {
+		return err
+	}
+	t := NewTable("Use Case", "Download", "Upload", "Latency", "Packet loss").AlignRight(1, 2, 3, 4)
+	for _, u := range iqb.AllUseCases() {
+		row := weights[u]
+		t.Row(
+			u.Title(),
+			fmt.Sprintf("%d", row[iqb.Download]),
+			fmt.Sprintf("%d", row[iqb.Upload]),
+			fmt.Sprintf("%d", row[iqb.Latency]),
+			fmt.Sprintf("%d", row[iqb.Loss]),
+		)
+	}
+	return t.Render(w)
+}
+
+// formatThreshold renders a threshold in its natural unit.
+func formatThreshold(r iqb.Requirement, v float64) string {
+	switch r {
+	case iqb.Latency:
+		return fmt.Sprintf("%g ms", v)
+	case iqb.Loss:
+		return fmt.Sprintf("%g%%", v*100)
+	default:
+		return fmt.Sprintf("%g Mbps", v)
+	}
+}
+
+// RenderFig2 reproduces Fig. 2: the minimum- and high-quality network
+// requirement thresholds per use case, with comparison bars that show
+// each requirement's high bar relative to the largest across use cases.
+func RenderFig2(w io.Writer, th iqb.Thresholds) error {
+	if _, err := fmt.Fprintln(w, "Figure 2: Network requirement thresholds for minimum and high quality."); err != nil {
+		return err
+	}
+	// Scale bars per requirement across use cases.
+	maxHigh := map[iqb.Requirement]float64{}
+	for _, u := range iqb.AllUseCases() {
+		for _, r := range iqb.AllRequirements() {
+			if v := th[u][r].High; v > maxHigh[r] {
+				maxHigh[r] = v
+			}
+		}
+	}
+	for _, u := range iqb.AllUseCases() {
+		if _, err := fmt.Fprintf(w, "\n%s\n", u.Title()); err != nil {
+			return err
+		}
+		t := NewTable("  Requirement", "Minimum", "High", "").AlignRight(1, 2)
+		for _, r := range iqb.AllRequirements() {
+			band := th[u][r]
+			frac := 0.0
+			if maxHigh[r] > 0 {
+				frac = band.High / maxHigh[r]
+			}
+			if iqb.RequirementDirection(r) == units.LowerBetter && band.Minimum > 0 {
+				// For lower-better metrics the bar shows strictness:
+				// shorter bar = stricter bar.
+				frac = band.High / band.Minimum
+			}
+			t.Row(
+				"  "+strings.Title(r.String()),
+				formatThreshold(r, band.Minimum),
+				formatThreshold(r, band.High),
+				Bar(frac, 20),
+			)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig1 reproduces Fig. 1: the three-tier framework diagram (use
+// cases → network requirements → datasets), annotated with each
+// dataset's capability.
+func RenderFig1(w io.Writer, cfg iqb.Config) error {
+	var b strings.Builder
+	b.WriteString("Figure 1: The IQB framework: use cases, network requirements, datasets.\n\n")
+	b.WriteString("TIER 1: USE CASES\n")
+	for _, u := range iqb.AllUseCases() {
+		fmt.Fprintf(&b, "  [%s]\n", u.Title())
+	}
+	b.WriteString("        |  weighted by w(u,r) (Table 1)\n        v\n")
+	b.WriteString("TIER 2: NETWORK REQUIREMENTS\n")
+	for _, r := range iqb.AllRequirements() {
+		fmt.Fprintf(&b, "  [%s (%s, %s)]\n", strings.Title(r.String()), iqb.RequirementUnit(r), iqb.RequirementDirection(r))
+	}
+	b.WriteString("        |  weighted by w(u,r,d), aggregated at the 95th percentile\n        v\n")
+	b.WriteString("TIER 3: DATASETS\n")
+	for _, d := range cfg.Datasets {
+		caps := make([]string, 0, len(d.Capabilities))
+		for _, r := range d.Capabilities {
+			caps = append(caps, r.String())
+		}
+		sort.Strings(caps)
+		fmt.Fprintf(&b, "  [%s: %s]\n", d.Name, strings.Join(caps, ", "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderScoreCard renders one region's score with its use-case breakdown.
+func RenderScoreCard(w io.Writer, region string, s iqb.Score) error {
+	if _, err := fmt.Fprintf(w, "IQB score for %s: %.3f  grade %s  (quality bar: %s, coverage %.0f%%)\n",
+		region, s.IQB, s.Grade, s.Quality, s.Coverage*100); err != nil {
+		return err
+	}
+	t := NewTable("Use case", "Score", "", "Weakest requirement").AlignRight(1)
+	for _, uc := range s.UseCases {
+		weakest, weakestVal := "", 2.0
+		for _, rs := range uc.Requirements {
+			if rs.Missing {
+				continue
+			}
+			if rs.Agreement < weakestVal {
+				weakestVal = rs.Agreement
+				weakest = rs.Name
+			}
+		}
+		label := ""
+		if weakest != "" && weakestVal < 1 {
+			label = fmt.Sprintf("%s (%.2f)", weakest, weakestVal)
+		}
+		t.Row(uc.Name, fmt.Sprintf("%.3f", uc.Score), Bar(uc.Score, 20), label)
+	}
+	return t.Render(w)
+}
+
+// RenderRanking renders a best-first list of region scores.
+func RenderRanking(w io.Writer, rows []RankedRegion) error {
+	t := NewTable("Rank", "Region", "Character", "IQB", "Grade", "").AlignRight(0, 3)
+	for i, row := range rows {
+		t.Row(
+			fmt.Sprintf("%d", i+1),
+			row.Region,
+			row.Character,
+			fmt.Sprintf("%.3f", row.Score),
+			string(row.Grade),
+			Bar(row.Score, 20),
+		)
+	}
+	return t.Render(w)
+}
+
+// RankedRegion is one row of a ranking table.
+type RankedRegion struct {
+	Region    string
+	Character string
+	Score     float64
+	Grade     iqb.Grade
+}

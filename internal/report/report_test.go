@@ -1,0 +1,268 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iqb/internal/iqb"
+)
+
+func TestTableRender(t *testing.T) {
+	var buf bytes.Buffer
+	err := NewTable("Name", "Value").AlignRight(1).
+		Row("alpha", "1").
+		Row("beta-long-name", "22").
+		Row("gamma"). // short row padded
+		Render(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("missing rule: %q", lines[1])
+	}
+	// Right alignment: the value column ends at the same offset.
+	if !strings.HasSuffix(lines[2], " 1") || !strings.HasSuffix(lines[3], "22") {
+		t.Errorf("alignment off:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####....." {
+		t.Errorf("Bar(0.5, 10) = %q", Bar(0.5, 10))
+	}
+	if Bar(0, 4) != "...." || Bar(1, 4) != "####" {
+		t.Error("bar extremes")
+	}
+	if Bar(-1, 4) != "...." || Bar(2, 4) != "####" {
+		t.Error("bar clamping")
+	}
+	if Bar(0.5, 0) != "" {
+		t.Error("zero width")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable1(&buf, iqb.Table1Weights()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// All six use case display names appear.
+	for _, u := range iqb.AllUseCases() {
+		if !strings.Contains(out, u.Title()) {
+			t.Errorf("missing %q in:\n%s", u.Title(), out)
+		}
+	}
+	// Gaming row carries the 5 for latency.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Gaming") {
+			if !strings.Contains(line, "5") {
+				t.Errorf("gaming row = %q", line)
+			}
+		}
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Error("missing caption")
+	}
+}
+
+func TestRenderFig2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFig2(&buf, iqb.DefaultThresholds()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("missing caption")
+	}
+	for _, want := range []string{"Gaming", "30 ms", "100 ms", "Mbps", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in fig 2 output", want)
+		}
+	}
+}
+
+func TestRenderFig1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFig1(&buf, iqb.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TIER 1: USE CASES", "TIER 2: NETWORK REQUIREMENTS", "TIER 3: DATASETS", "ndt", "cloudflare", "ookla", "95th percentile"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in fig 1 output", want)
+		}
+	}
+	// Ookla's line must not claim loss.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "ookla") && strings.Contains(line, "loss") {
+			t.Errorf("ookla line claims loss: %q", line)
+		}
+	}
+}
+
+func TestRenderScoreCard(t *testing.T) {
+	cfg := iqb.DefaultConfig()
+	agg := iqb.NewAggregates()
+	for _, d := range cfg.Datasets {
+		for _, r := range d.Capabilities {
+			v := 500.0
+			switch r {
+			case iqb.Latency:
+				v = 15
+			case iqb.Loss:
+				v = 0.001
+			}
+			agg.Set(d.Name, r, v, 50)
+		}
+	}
+	// Make gaming latency fail on one dataset so a weakest requirement
+	// appears.
+	agg.Set(iqb.DatasetNDT, iqb.Latency, 80, 50)
+	s, err := cfg.ScoreAggregates(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderScoreCard(&buf, "XA-01-001", s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "XA-01-001") || !strings.Contains(out, "grade") {
+		t.Errorf("scorecard header missing: %s", out)
+	}
+	if !strings.Contains(out, "latency") {
+		t.Errorf("weakest requirement not surfaced:\n%s", out)
+	}
+}
+
+func TestRenderRanking(t *testing.T) {
+	rows := []RankedRegion{
+		{Region: "XA-01-001", Character: "urban", Score: 0.91, Grade: iqb.GradeA},
+		{Region: "XA-02-003", Character: "rural", Score: 0.42, Grade: iqb.GradeD},
+	}
+	var buf bytes.Buffer
+	if err := RenderRanking(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "XA-01-001") || !strings.Contains(out, "rural") {
+		t.Errorf("ranking output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want header+rule+2 rows, got %d lines", len(lines))
+	}
+}
+
+func passScore(t *testing.T) iqb.Score {
+	t.Helper()
+	cfg := iqb.DefaultConfig()
+	agg := iqb.NewAggregates()
+	for _, d := range cfg.Datasets {
+		for _, r := range d.Capabilities {
+			v := 500.0
+			switch r {
+			case iqb.Latency:
+				v = 15
+			case iqb.Loss:
+				v = 0.001
+			}
+			agg.Set(d.Name, r, v, 50)
+		}
+	}
+	s, err := cfg.ScoreAggregates(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteScoresCSV(t *testing.T) {
+	scores := map[string]iqb.Score{
+		"XA-01": passScore(t),
+		"XA-02": passScore(t),
+	}
+	var buf bytes.Buffer
+	if err := WriteScoresCSV(&buf, scores); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "region,iqb,grade,coverage,web-browsing") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Sorted by region.
+	if !strings.HasPrefix(lines[1], "XA-01,") || !strings.HasPrefix(lines[2], "XA-02,") {
+		t.Errorf("rows not sorted:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[1], ",A,") {
+		t.Errorf("grade missing from row: %q", lines[1])
+	}
+}
+
+func TestWriteScoreMarkdown(t *testing.T) {
+	// Build a score where one capable dataset lacks data so a
+	// "no data" cell appears in the breakdown.
+	cfg := iqb.DefaultConfig()
+	agg := iqb.NewAggregates()
+	for _, d := range cfg.Datasets {
+		for _, r := range d.Capabilities {
+			if d.Name == iqb.DatasetNDT && r == iqb.Loss {
+				continue // NDT loss missing
+			}
+			v := 500.0
+			switch r {
+			case iqb.Latency:
+				v = 15
+			case iqb.Loss:
+				v = 0.001
+			}
+			agg.Set(d.Name, r, v, 50)
+		}
+	}
+	s, err := cfg.ScoreAggregates(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteScoreMarkdown(&buf, "XA-01-001", s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# IQB score: XA-01-001", "| Use case |", "## gaming", "| ndt |", "meets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// NDT's loss row is a "no data" cell.
+	if !strings.Contains(out, "no data") {
+		t.Error("missing cells should render as no data")
+	}
+}
+
+func TestWriteTimeSeriesCSV(t *testing.T) {
+	points := []iqb.TimePoint{
+		{Score: passScore(t)},
+		{NoData: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimeSeriesCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d", len(lines))
+	}
+	if !strings.Contains(lines[2], "true") {
+		t.Errorf("NoData flag missing: %q", lines[2])
+	}
+}

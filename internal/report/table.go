@@ -1,0 +1,110 @@
+// Package report renders the IQB framework's tables and figures as text:
+// the Table 1 weight matrix, the Fig. 2 threshold chart, the Fig. 1
+// three-tier diagram, per-region score cards, and CSV/markdown exports.
+// Everything writes to an io.Writer so the CLI, the experiment harness,
+// and tests share one implementation.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table renders rows with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+	// RightAlign marks columns to right-align (numeric columns).
+	rightAlign map[int]bool
+}
+
+// NewTable starts a table with the given header.
+func NewTable(header ...string) *Table {
+	return &Table{header: header, rightAlign: map[int]bool{}}
+}
+
+// AlignRight right-aligns the given column indexes.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		t.rightAlign[c] = true
+	}
+	return t
+}
+
+// Row appends a row; short rows are padded with empty cells.
+func (t *Table) Row(cells ...string) *Table {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	pad := func(s string, width int, right bool) string {
+		gap := width - utf8.RuneCountInString(s)
+		if gap <= 0 {
+			return s
+		}
+		if right {
+			return strings.Repeat(" ", gap) + s
+		}
+		return s + strings.Repeat(" ", gap)
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i], t.rightAlign[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.header))
+	for i, width := range widths {
+		rule[i] = strings.Repeat("-", width)
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bar renders a horizontal bar of the given fraction (0..1) and width.
+func Bar(frac float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	filled := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", filled) + strings.Repeat(".", width-filled)
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+
+	"iqb/internal/rng"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+	Level float64 // e.g. 0.95
+}
+
+// String renders the interval compactly.
+func (c CI) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g] @%.0f%%", c.Point, c.Lo, c.Hi, c.Level*100)
+}
+
+// BootstrapPercentile estimates a confidence interval for the q-th
+// percentile of xs using the nonparametric bootstrap with the given
+// number of resamples (e.g. 1000) at the given level (e.g. 0.95). The
+// source makes the procedure deterministic.
+func BootstrapPercentile(xs []float64, q float64, resamples int, level float64, src *rng.Source) (CI, error) {
+	return bootstrap(xs, resamples, level, src, func(sample []float64) (float64, error) {
+		return Percentile(sample, q)
+	})
+}
+
+// BootstrapMean estimates a confidence interval for the mean of xs.
+func BootstrapMean(xs []float64, resamples int, level float64, src *rng.Source) (CI, error) {
+	return bootstrap(xs, resamples, level, src, Mean)
+}
+
+func bootstrap(xs []float64, resamples int, level float64, src *rng.Source, stat func([]float64) (float64, error)) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, ErrNoData
+	}
+	if resamples <= 0 {
+		return CI{}, fmt.Errorf("stats: bootstrap needs >=1 resample, got %d", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	if src == nil {
+		src = rng.New(0)
+	}
+	point, err := stat(xs)
+	if err != nil {
+		return CI{}, err
+	}
+	estimates := make([]float64, resamples)
+	sample := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range sample {
+			sample[i] = xs[src.Intn(len(xs))]
+		}
+		est, err := stat(sample)
+		if err != nil {
+			return CI{}, err
+		}
+		estimates[r] = est
+	}
+	alpha := (1 - level) / 2
+	bounds, err := Percentiles(estimates, alpha*100, (1-alpha)*100)
+	if err != nil {
+		return CI{}, err
+	}
+	return CI{Point: point, Lo: bounds[0], Hi: bounds[1], Level: level}, nil
+}

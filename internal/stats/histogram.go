@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi) with overflow and
+// underflow counters. It supports linear and logarithmic bin spacing;
+// logarithmic spacing suits throughput distributions that span three
+// orders of magnitude.
+type Histogram struct {
+	lo, hi    float64
+	log       bool
+	counts    []uint64
+	under     uint64
+	over      uint64
+	total     uint64
+	sum       float64
+	edgeCache []float64
+}
+
+// NewHistogram builds a linear histogram with bins equal-width bins over
+// [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs >=1 bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]uint64, bins)}, nil
+}
+
+// NewLogHistogram builds a histogram whose bins are equal-width in
+// log-space over [lo, hi); lo must be positive.
+func NewLogHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if lo <= 0 {
+		return nil, fmt.Errorf("stats: log histogram needs lo > 0, got %v", lo)
+	}
+	h, err := NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	h.log = true
+	return h, nil
+}
+
+// Add observes x.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		h.counts[h.binOf(x)]++
+	}
+}
+
+func (h *Histogram) binOf(x float64) int {
+	var frac float64
+	if h.log {
+		frac = (math.Log(x) - math.Log(h.lo)) / (math.Log(h.hi) - math.Log(h.lo))
+	} else {
+		frac = (x - h.lo) / (h.hi - h.lo)
+	}
+	i := int(frac * float64(len(h.counts)))
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Edges returns the bins+1 bin boundaries.
+func (h *Histogram) Edges() []float64 {
+	if h.edgeCache != nil {
+		return h.edgeCache
+	}
+	edges := make([]float64, len(h.counts)+1)
+	for i := range edges {
+		frac := float64(i) / float64(len(h.counts))
+		if h.log {
+			edges[i] = math.Exp(math.Log(h.lo) + frac*(math.Log(h.hi)-math.Log(h.lo)))
+		} else {
+			edges[i] = h.lo + frac*(h.hi-h.lo)
+		}
+	}
+	h.edgeCache = edges
+	return edges
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Total returns the number of observations including under/overflow.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Underflow and Overflow report out-of-range observations.
+func (h *Histogram) Underflow() uint64 { return h.under }
+
+// Overflow reports observations at or above the upper bound.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// Mean returns the mean of all observed values (exact, not binned).
+func (h *Histogram) Mean() (float64, error) {
+	if h.total == 0 {
+		return 0, ErrNoData
+	}
+	return h.sum / float64(h.total), nil
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) assuming a uniform
+// distribution within bins. Underflow mass is attributed to lo and
+// overflow mass to hi.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.total == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo, nil
+	}
+	edges := h.Edges()
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return edges[i] + frac*(edges[i+1]-edges[i]), nil
+		}
+		cum = next
+	}
+	return h.hi, nil
+}

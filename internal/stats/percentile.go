@@ -1,0 +1,251 @@
+// Package stats implements the statistical machinery the IQB framework
+// aggregates measurements with: exact percentiles under several
+// interpolation rules (the framework mandates the 95th percentile),
+// streaming quantile estimators (P-square and t-digest) for pipelines that
+// cannot hold raw samples, histograms, empirical CDFs, bootstrap
+// confidence intervals, and descriptive summaries.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by aggregations over empty sample sets.
+var ErrNoData = errors.New("stats: no data")
+
+// Interpolation selects how a percentile between two order statistics is
+// computed. The names follow the Hyndman & Fan taxonomy where applicable.
+type Interpolation int
+
+const (
+	// Linear interpolates between the adjacent order statistics
+	// (Hyndman-Fan type 7, the default of most statistics packages).
+	Linear Interpolation = iota
+	// Lower takes the largest order statistic below the position.
+	Lower
+	// Higher takes the smallest order statistic above the position.
+	Higher
+	// Nearest takes the closest order statistic.
+	Nearest
+	// Midpoint averages the two adjacent order statistics.
+	Midpoint
+)
+
+// String names the interpolation rule.
+func (ip Interpolation) String() string {
+	switch ip {
+	case Linear:
+		return "linear"
+	case Lower:
+		return "lower"
+	case Higher:
+		return "higher"
+	case Nearest:
+		return "nearest"
+	case Midpoint:
+		return "midpoint"
+	default:
+		return fmt.Sprintf("Interpolation(%d)", int(ip))
+	}
+}
+
+// Percentile returns the q-th percentile (q in [0, 100]) of xs using
+// linear interpolation. xs need not be sorted; it is not modified.
+func Percentile(xs []float64, q float64) (float64, error) {
+	return PercentileWith(xs, q, Linear)
+}
+
+// PercentileWith is Percentile with an explicit interpolation rule.
+func PercentileWith(xs []float64, q float64, ip Interpolation) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 100 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, q, ip), nil
+}
+
+// PercentileSorted computes the q-th percentile of an already sorted
+// slice without copying. It panics if xs is empty; callers that cannot
+// guarantee data should use Percentile.
+func PercentileSorted(xs []float64, q float64, ip Interpolation) float64 {
+	if len(xs) == 0 {
+		panic("stats: PercentileSorted on empty slice")
+	}
+	return percentileSorted(xs, q, ip)
+}
+
+func percentileSorted(sorted []float64, q float64, ip Interpolation) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	frac := pos - float64(lo)
+	switch ip {
+	case Lower:
+		return sorted[lo]
+	case Higher:
+		return sorted[hi]
+	case Nearest:
+		if frac < 0.5 {
+			return sorted[lo]
+		}
+		return sorted[hi]
+	case Midpoint:
+		return (sorted[lo] + sorted[hi]) / 2
+	default: // Linear
+		return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+	}
+}
+
+// Percentiles computes several percentiles in one sort. The result is in
+// the same order as qs.
+func Percentiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 100 || math.IsNaN(q) {
+			return nil, fmt.Errorf("stats: percentile %v out of [0,100]", q)
+		}
+		out[i] = percentileSorted(sorted, q, Linear)
+	}
+	return out, nil
+}
+
+// Median is Percentile(xs, 50).
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	P5     float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	sum, sum2 := 0.0, 0.0
+	for _, x := range sorted {
+		sum += x
+		sum2 += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   mean,
+		Stddev: math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P5:     percentileSorted(sorted, 5, Linear),
+		P25:    percentileSorted(sorted, 25, Linear),
+		Median: percentileSorted(sorted, 50, Linear),
+		P75:    percentileSorted(sorted, 75, Linear),
+		P90:    percentileSorted(sorted, 90, Linear),
+		P95:    percentileSorted(sorted, 95, Linear),
+		P99:    percentileSorted(sorted, 99, Linear),
+	}, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	mean, _ := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs))), nil
+}
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (copied and sorted).
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// At returns the fraction of samples <= x.
+func (e *ECDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) via linear interpolation.
+func (e *ECDF) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return percentileSorted(e.sorted, q*100, Linear)
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }

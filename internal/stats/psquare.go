@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PSquare is a streaming quantile estimator implementing the P-square
+// algorithm (Jain & Chlamtac 1985). It tracks a single quantile with five
+// markers and O(1) memory, which lets ingestion pipelines estimate the
+// 95th percentile without retaining raw measurements.
+type PSquare struct {
+	q       float64 // target quantile in (0, 1)
+	n       int     // observations seen
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	desired [5]float64
+	incr    [5]float64
+}
+
+// NewPSquare returns an estimator for quantile q in (0, 1).
+func NewPSquare(q float64) (*PSquare, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("stats: p-square quantile %v out of (0,1)", q)
+	}
+	p := &PSquare{q: q}
+	p.pos = [5]float64{1, 2, 3, 4, 5}
+	p.desired = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p, nil
+}
+
+// Add observes one value.
+func (p *PSquare) Add(x float64) {
+	if p.n < 5 {
+		p.heights[p.n] = x
+		p.n++
+		if p.n == 5 {
+			// Insertion-sort the initial heights.
+			for i := 1; i < 5; i++ {
+				for j := i; j > 0 && p.heights[j-1] > p.heights[j]; j-- {
+					p.heights[j-1], p.heights[j] = p.heights[j], p.heights[j-1]
+				}
+			}
+		}
+		return
+	}
+	p.n++
+
+	// Find the cell k containing x and clamp extremes.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.desired {
+		p.desired[i] += p.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.desired[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *PSquare) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *PSquare) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Count returns the number of observations so far.
+func (p *PSquare) Count() int { return p.n }
+
+// Value returns the current quantile estimate. Before five observations it
+// falls back to an exact small-sample percentile.
+func (p *PSquare) Value() (float64, error) {
+	if p.n == 0 {
+		return 0, ErrNoData
+	}
+	if p.n < 5 {
+		xs := make([]float64, p.n)
+		copy(xs, p.heights[:p.n])
+		return Percentile(xs, p.q*100)
+	}
+	return p.heights[2], nil
+}

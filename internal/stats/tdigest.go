@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TDigest is a mergeable streaming quantile sketch (Dunning's t-digest,
+// merging variant). Unlike PSquare it answers arbitrary quantiles after
+// ingestion and two digests can be merged, which suits per-region
+// aggregation fan-in.
+type TDigest struct {
+	compression float64
+	processed   []centroid
+	unprocessed []centroid
+	count       float64
+	min, max    float64
+}
+
+type centroid struct {
+	mean   float64
+	weight float64
+}
+
+// NewTDigest returns a digest with the given compression (typically
+// 100-1000; larger is more accurate and bigger). Values <= 0 default
+// to 200.
+func NewTDigest(compression float64) *TDigest {
+	if compression <= 0 {
+		compression = 200
+	}
+	return &TDigest{
+		compression: compression,
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// Add observes x with weight 1.
+func (t *TDigest) Add(x float64) { t.AddWeighted(x, 1) }
+
+// AddWeighted observes x with the given positive weight.
+func (t *TDigest) AddWeighted(x, w float64) {
+	if w <= 0 || math.IsNaN(x) {
+		return
+	}
+	t.unprocessed = append(t.unprocessed, centroid{mean: x, weight: w})
+	t.count += w
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	if len(t.unprocessed) > 8*int(t.compression) {
+		t.process()
+	}
+}
+
+// Merge folds other into t. other is unchanged.
+func (t *TDigest) Merge(other *TDigest) {
+	if other == nil {
+		return
+	}
+	other.process()
+	for _, c := range other.processed {
+		t.unprocessed = append(t.unprocessed, c)
+		t.count += c.weight
+	}
+	if other.min < t.min {
+		t.min = other.min
+	}
+	if other.max > t.max {
+		t.max = other.max
+	}
+	t.process()
+}
+
+// process merges unprocessed centroids into the compressed processed set.
+func (t *TDigest) process() {
+	if len(t.unprocessed) == 0 {
+		return
+	}
+	all := append(t.processed, t.unprocessed...)
+	t.unprocessed = t.unprocessed[:0]
+	sort.Slice(all, func(i, j int) bool { return all[i].mean < all[j].mean })
+
+	var out []centroid
+	var soFar float64
+	for _, c := range all {
+		if len(out) == 0 {
+			out = append(out, c)
+			continue
+		}
+		last := &out[len(out)-1]
+		proposed := last.weight + c.weight
+		q := (soFar + proposed/2) / t.count
+		limit := 4 * t.count * q * (1 - q) / t.compression
+		if proposed <= limit {
+			last.mean += (c.mean - last.mean) * c.weight / proposed
+			last.weight = proposed
+		} else {
+			soFar += last.weight
+			out = append(out, c)
+		}
+	}
+	t.processed = out
+}
+
+// Count returns the total observed weight.
+func (t *TDigest) Count() float64 { return t.count }
+
+// Quantile returns the estimated q-quantile (q in [0,1]).
+func (t *TDigest) Quantile(q float64) (float64, error) {
+	if t.count == 0 {
+		return 0, ErrNoData
+	}
+	t.process()
+	if q <= 0 {
+		return t.min, nil
+	}
+	if q >= 1 {
+		return t.max, nil
+	}
+	cs := t.processed
+	if len(cs) == 1 {
+		return cs[0].mean, nil
+	}
+	target := q * t.count
+	var cum float64
+	for i, c := range cs {
+		mid := cum + c.weight/2
+		if target < mid {
+			if i == 0 {
+				// Interpolate from the minimum.
+				frac := target / mid
+				return t.min + frac*(c.mean-t.min), nil
+			}
+			prev := cs[i-1]
+			prevMid := cum - prev.weight/2
+			frac := (target - prevMid) / (mid - prevMid)
+			return prev.mean + frac*(c.mean-prev.mean), nil
+		}
+		cum += c.weight
+	}
+	// Interpolate toward the maximum.
+	last := cs[len(cs)-1]
+	lastMid := t.count - last.weight/2
+	if target <= lastMid || t.count == lastMid {
+		return last.mean, nil
+	}
+	frac := (target - lastMid) / (t.count - lastMid)
+	return last.mean + frac*(t.max-last.mean), nil
+}
+
+// CentroidCount reports the current compressed size (for tests).
+func (t *TDigest) CentroidCount() int {
+	t.process()
+	return len(t.processed)
+}

@@ -1,0 +1,286 @@
+// Package tcpmodel simulates TCP flow dynamics over a netem path at
+// round-trip granularity: IW10 slow start, AIMD congestion avoidance with
+// fast recovery, queue-induced losses when the window overruns the
+// bandwidth-delay product, and fair capacity sharing across parallel
+// flows. The three measurement systems drive this model to obtain the
+// throughput, RTT, and retransmission numbers a real client would report.
+//
+// The package also provides the Mathis steady-state model
+// (MSS/RTT · C/√p) as an analytic cross-check.
+package tcpmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/units"
+)
+
+// MSS is the segment size assumed by the model.
+const MSS = 1460
+
+// Direction selects which side of the path a flow loads.
+type Direction int
+
+// Flow directions.
+const (
+	Download Direction = iota
+	Upload
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Download {
+		return "download"
+	}
+	return "upload"
+}
+
+// ControlLaw selects the congestion-control behaviour of the simulated
+// sender. The choice matters for measurement: M-Lab's NDT moved from a
+// Reno-era stack (NDT5) to BBR (NDT7) precisely because loss-sensitive
+// AIMD under-reports capacity on long or lossy paths.
+type ControlLaw int
+
+// Control laws.
+const (
+	// LawBBR (default) rate-tracks the bottleneck: random loss is
+	// counted but does not collapse the window.
+	LawBBR ControlLaw = iota
+	// LawReno is classic AIMD: slow start with ssthresh, multiplicative
+	// decrease on every loss event, additive increase otherwise.
+	LawReno
+)
+
+// String names the control law.
+func (l ControlLaw) String() string {
+	switch l {
+	case LawBBR:
+		return "bbr"
+	case LawReno:
+		return "reno"
+	default:
+		return fmt.Sprintf("ControlLaw(%d)", int(l))
+	}
+}
+
+// Config parametrizes a simulated transfer.
+type Config struct {
+	Direction Direction
+	// Law selects the sender's congestion control. Default LawBBR.
+	Law ControlLaw
+	// Duration ends the transfer after this much simulated time
+	// (e.g. 10 s for an NDT-style test). Zero means "until Bytes done".
+	Duration time.Duration
+	// Bytes ends the transfer after this many bytes (e.g. a Cloudflare
+	// 10 MB object). Zero means "until Duration elapses".
+	Bytes int64
+	// Flows is the number of parallel connections (Ookla uses several).
+	Flows int
+	// Rho is the neighborhood utilization during the test.
+	Rho float64
+	// QueuePackets is the bottleneck buffer depth; deeper buffers mean
+	// later loss and more bufferbloat. Defaults to 64.
+	QueuePackets int
+}
+
+// Result summarizes a simulated transfer.
+type Result struct {
+	// Goodput is delivered application bytes over elapsed time.
+	Goodput units.Throughput
+	// Elapsed is the simulated wall time of the transfer.
+	Elapsed time.Duration
+	// BytesDelivered counts application bytes that arrived.
+	BytesDelivered int64
+	// MinRTT and AvgRTT summarize per-round RTT samples.
+	MinRTT units.Latency
+	AvgRTT units.Latency
+	// RTTSamples holds one RTT observation per simulated round.
+	RTTSamples []units.Latency
+	// Retransmits counts lost segments (the NDT loss proxy).
+	Retransmits int64
+	// SegmentsSent counts all transmission attempts.
+	SegmentsSent int64
+}
+
+// LossRate returns retransmitted over sent segments.
+func (r Result) LossRate() units.LossRate {
+	if r.SegmentsSent == 0 {
+		return 0
+	}
+	return units.LossRate(float64(r.Retransmits) / float64(r.SegmentsSent))
+}
+
+// Run simulates cfg over path and returns the transfer result. The
+// source drives all stochastic choices, making runs reproducible.
+func Run(path netem.Path, cfg Config, src *rng.Source) (Result, error) {
+	if cfg.Duration <= 0 && cfg.Bytes <= 0 {
+		return Result{}, fmt.Errorf("tcpmodel: config needs a duration or byte budget")
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 1
+	}
+	if cfg.QueuePackets <= 0 {
+		cfg.QueuePackets = 64
+	}
+	if src == nil {
+		src = rng.New(0)
+	}
+
+	// Per-flow congestion state. Under LawBBR (the NDT7-era default) the
+	// sender rate-tracks the bottleneck: exponential startup until
+	// delivery stops growing, then tracking the estimated share with
+	// gentle probing; random loss is counted (it is what the tests
+	// report) but does not collapse the window. Under LawReno every loss
+	// event halves the window, reproducing the loss-limited behaviour of
+	// the NDT5-era stack.
+	cwnd := make([]float64, cfg.Flows) // in segments
+	ssthresh := make([]float64, cfg.Flows)
+	for i := range cwnd {
+		cwnd[i] = 10 // IW10
+		ssthresh[i] = math.Inf(1)
+	}
+
+	var res Result
+	res.MinRTT = units.Latency(math.MaxInt64)
+	var elapsed time.Duration
+	var rttSum float64
+
+	for round := 0; ; round++ {
+		if cfg.Duration > 0 && elapsed >= cfg.Duration {
+			break
+		}
+		if cfg.Bytes > 0 && res.BytesDelivered >= cfg.Bytes {
+			break
+		}
+		if round > 200000 {
+			return Result{}, fmt.Errorf("tcpmodel: transfer did not converge after %d rounds", round)
+		}
+
+		st := path.Observe(cfg.Rho, src)
+		capacity := st.AvailDown
+		if cfg.Direction == Upload {
+			capacity = st.AvailUp
+		}
+		rtt := st.RTT
+		res.RTTSamples = append(res.RTTSamples, rtt)
+		rttSum += rtt.Milliseconds()
+		if rtt < res.MinRTT {
+			res.MinRTT = rtt
+		}
+
+		// Bandwidth-delay product in segments for this round, shared
+		// fairly across flows. Sustained delivery is BDP-limited; the
+		// queue only defers overflow loss, it does not add rate.
+		bdp := capacity.BytesPerSecond() * rtt.Duration().Seconds() / MSS
+		bdpShare := math.Max(bdp/float64(cfg.Flows), 1)
+		queueShare := float64(cfg.QueuePackets) / float64(cfg.Flows)
+
+		roundDelivered := 0.0
+		for i := range cwnd {
+			attempt := cwnd[i]
+			res.SegmentsSent += int64(attempt)
+			delivered := math.Min(attempt, bdpShare)
+
+			// Random segment loss: Poisson around attempt * p. Lost
+			// segments are retransmitted next round, so they subtract
+			// from goodput.
+			lost := 0.0
+			if st.Loss > 0 {
+				lost = float64(src.Poisson(attempt * float64(st.Loss)))
+				lost = math.Min(lost, delivered)
+				res.Retransmits += int64(lost)
+				delivered -= lost
+			}
+			overflow := attempt - (bdpShare + queueShare)
+			if overflow > 0 {
+				res.Retransmits += int64(math.Ceil(overflow))
+			}
+
+			switch cfg.Law {
+			case LawReno:
+				if lost > 0 || overflow > 0 {
+					// Multiplicative decrease on any loss event.
+					ssthresh[i] = math.Max(cwnd[i]/2, 2)
+					cwnd[i] = ssthresh[i]
+				} else if cwnd[i] < ssthresh[i] {
+					cwnd[i] = math.Min(cwnd[i]*2, ssthresh[i]) // slow start
+				} else {
+					cwnd[i]++ // additive increase
+				}
+			default: // LawBBR
+				// Only queue overflow forces a drain back to the share;
+				// random loss does not collapse the window.
+				if overflow > 0 {
+					cwnd[i] = bdpShare
+				} else if attempt < bdpShare {
+					cwnd[i] = math.Min(attempt*2, bdpShare+queueShare/2) // startup
+				} else {
+					// Steady state: track the share with a gentle probe
+					// so capacity changes are discovered.
+					cwnd[i] = bdpShare * src.Range(1.0, 1.05)
+				}
+			}
+			roundDelivered += delivered
+		}
+
+		bytes := int64(roundDelivered * MSS)
+		if cfg.Bytes > 0 && res.BytesDelivered+bytes > cfg.Bytes {
+			// Partial final round: charge time proportionally.
+			need := cfg.Bytes - res.BytesDelivered
+			frac := float64(need) / float64(bytes)
+			res.BytesDelivered = cfg.Bytes
+			elapsed += time.Duration(frac * float64(rtt.Duration()))
+			break
+		}
+		res.BytesDelivered += bytes
+		elapsed += rtt.Duration()
+	}
+
+	res.Elapsed = elapsed
+	if len(res.RTTSamples) > 0 {
+		res.AvgRTT = units.LatencyFromMillis(rttSum / float64(len(res.RTTSamples)))
+	}
+	if res.MinRTT == units.Latency(math.MaxInt64) {
+		res.MinRTT = 0
+	}
+	res.Goodput = units.ThroughputFromTransfer(res.BytesDelivered, elapsed)
+	return res, nil
+}
+
+// Mathis returns the steady-state TCP throughput predicted by the Mathis
+// model: MSS/RTT · C/√p with C ≈ 1.22, capped at the link capacity.
+// With zero loss it returns the capacity itself.
+func Mathis(capacity units.Throughput, rtt units.Latency, loss units.LossRate) units.Throughput {
+	if rtt <= 0 {
+		return capacity
+	}
+	if loss <= 0 {
+		return capacity
+	}
+	bps := MSS * 8 / rtt.Duration().Seconds() * 1.22 / math.Sqrt(float64(loss))
+	t := units.Throughput(bps / 1e6)
+	if t > capacity {
+		return capacity
+	}
+	return t
+}
+
+// Ping simulates n unloaded latency probes over the path and returns the
+// RTT samples; measurement clients use it for idle-latency measurement.
+func Ping(path netem.Path, n int, rho float64, src *rng.Source) []units.Latency {
+	if n <= 0 {
+		return nil
+	}
+	if src == nil {
+		src = rng.New(0)
+	}
+	out := make([]units.Latency, n)
+	for i := range out {
+		out[i] = path.Observe(rho, src).RTT
+	}
+	return out
+}

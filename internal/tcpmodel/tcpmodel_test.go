@@ -1,0 +1,344 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iqb/internal/netem"
+	"iqb/internal/rng"
+	"iqb/internal/units"
+)
+
+func fastPath() netem.Path {
+	return netem.Path{
+		Tech:     netem.Fiber,
+		DownMbps: 500,
+		UpMbps:   400,
+		BaseRTT:  units.LatencyFromMillis(10),
+		JitterMS: 1,
+		Loss:     0.0005,
+		BloatMS:  15,
+		Shared:   0.1,
+	}
+}
+
+func slowPath() netem.Path {
+	return netem.Path{
+		Tech:     netem.DSL,
+		DownMbps: 15,
+		UpMbps:   2,
+		BaseRTT:  units.LatencyFromMillis(35),
+		JitterMS: 5,
+		Loss:     0.004,
+		BloatMS:  150,
+		Shared:   0.3,
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Download.String() != "download" || Upload.String() != "upload" {
+		t.Error("direction strings")
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	res, err := Run(fastPath(), Config{Direction: Download, Duration: 10 * time.Second, Rho: 0.2}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed < 10*time.Second {
+		t.Errorf("elapsed %v < requested 10s", res.Elapsed)
+	}
+	if res.Goodput <= 0 {
+		t.Error("goodput must be positive")
+	}
+	// A 500 Mbps fiber path at light load should achieve a large
+	// fraction of capacity in 10 s, and never exceed it.
+	if res.Goodput.Mbps() < 150 {
+		t.Errorf("fiber goodput %v suspiciously low", res.Goodput)
+	}
+	if res.Goodput.Mbps() > 500 {
+		t.Errorf("goodput %v exceeds capacity", res.Goodput)
+	}
+	if res.MinRTT < fastPath().BaseRTT {
+		t.Errorf("min RTT %v below base %v", res.MinRTT, fastPath().BaseRTT)
+	}
+	if res.AvgRTT < res.MinRTT {
+		t.Errorf("avg RTT %v below min %v", res.AvgRTT, res.MinRTT)
+	}
+}
+
+func TestRunBytesMode(t *testing.T) {
+	const want = 5 << 20 // 5 MB
+	res, err := Run(fastPath(), Config{Direction: Download, Bytes: want, Rho: 0.1}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesDelivered != want {
+		t.Errorf("delivered %d, want exactly %d", res.BytesDelivered, want)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed must be positive")
+	}
+}
+
+func TestRunUploadSlower(t *testing.T) {
+	p := slowPath()
+	down, err := Run(p, Config{Direction: Download, Duration: 8 * time.Second, Rho: 0.3}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := Run(p, Config{Direction: Upload, Duration: 8 * time.Second, Rho: 0.3}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Goodput >= down.Goodput {
+		t.Errorf("asymmetric DSL: upload %v should be below download %v", up.Goodput, down.Goodput)
+	}
+}
+
+func TestRunMultiFlowAggregatesMore(t *testing.T) {
+	// Multiple flows ramp faster and recover independently, so aggregate
+	// goodput on a lossy path should not be lower than a single flow.
+	p := slowPath()
+	p.Loss = 0.01
+	one, err := Run(p, Config{Direction: Download, Duration: 6 * time.Second, Flows: 1, Rho: 0.4}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(p, Config{Direction: Download, Duration: 6 * time.Second, Flows: 4, Rho: 0.4}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Goodput.Mbps() < one.Goodput.Mbps()*0.9 {
+		t.Errorf("4 flows %v clearly below 1 flow %v", four.Goodput, one.Goodput)
+	}
+}
+
+func TestRunLoadReducesGoodput(t *testing.T) {
+	p := netem.DrawPath(netem.DefaultProfiles()[netem.Cable], 1, rng.New(5))
+	idle, err := Run(p, Config{Direction: Download, Duration: 6 * time.Second, Rho: 0.05}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := Run(p, Config{Direction: Download, Duration: 6 * time.Second, Rho: 0.9}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.Goodput >= idle.Goodput {
+		t.Errorf("busy goodput %v not below idle %v", busy.Goodput, idle.Goodput)
+	}
+}
+
+func TestRunLossCounted(t *testing.T) {
+	p := slowPath()
+	p.Loss = 0.02
+	res, err := Run(p, Config{Direction: Download, Duration: 10 * time.Second, Rho: 0.5}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmits == 0 {
+		t.Error("2% loss path should see retransmits")
+	}
+	lr := res.LossRate()
+	if !lr.Valid() || lr == 0 {
+		t.Errorf("loss rate = %v", lr)
+	}
+	if (Result{}).LossRate() != 0 {
+		t.Error("empty result loss rate should be 0")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(fastPath(), Config{}, nil); err == nil {
+		t.Error("config without duration or bytes should error")
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	// nil source, zero flows, zero queue: all default sanely.
+	res, err := Run(fastPath(), Config{Direction: Download, Duration: time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goodput <= 0 {
+		t.Error("defaults should still transfer")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Direction: Download, Duration: 3 * time.Second, Rho: 0.3}
+	a, err := Run(slowPath(), cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(slowPath(), cfg, rng.New(11))
+	if a.Goodput != b.Goodput || a.Retransmits != b.Retransmits {
+		t.Error("same seed should reproduce the same result")
+	}
+}
+
+// Property: goodput never exceeds the path's subscribed rate and all
+// reported quantities are internally consistent.
+func TestRunProperties(t *testing.T) {
+	profiles := netem.DefaultProfiles()
+	src := rng.New(13)
+	f := func(techIdx, rhoRaw uint8, flows uint8) bool {
+		tech := netem.AllTechs()[int(techIdx)%len(netem.AllTechs())]
+		p := netem.DrawPath(profiles[tech], 1, src)
+		cfg := Config{
+			Direction: Download,
+			Duration:  2 * time.Second,
+			Flows:     int(flows%4) + 1,
+			Rho:       float64(rhoRaw) / 300, // up to ~0.85
+		}
+		res, err := Run(p, cfg, src)
+		if err != nil {
+			return false
+		}
+		if res.Goodput.Mbps() > p.DownMbps+1e-9 {
+			return false
+		}
+		if res.BytesDelivered < 0 || res.Retransmits > res.SegmentsSent {
+			return false
+		}
+		return res.MinRTT >= p.BaseRTT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMathis(t *testing.T) {
+	cap100 := 100 * units.Mbps
+	rtt := units.LatencyFromMillis(50)
+	// Zero loss: capacity-limited.
+	if got := Mathis(cap100, rtt, 0); got != cap100 {
+		t.Errorf("zero loss should return capacity, got %v", got)
+	}
+	// Heavy loss: loss-limited, well under capacity.
+	heavy := Mathis(cap100, rtt, 0.05)
+	if heavy >= cap100 {
+		t.Errorf("5%% loss should be loss-limited, got %v", heavy)
+	}
+	// Mathis at 1% loss, 50 ms: 1460*8/0.05 * 1.22/0.1 = ~2.85 Mbps.
+	got := Mathis(cap100, rtt, 0.01)
+	if math.Abs(got.Mbps()-2.85) > 0.1 {
+		t.Errorf("Mathis(100Mbps, 50ms, 1%%) = %v, want ~2.85", got)
+	}
+	// Loss monotonicity.
+	if Mathis(cap100, rtt, 0.02) >= Mathis(cap100, rtt, 0.005) {
+		t.Error("more loss should mean less throughput")
+	}
+	// RTT monotonicity.
+	if Mathis(cap100, units.LatencyFromMillis(200), 0.01) >= Mathis(cap100, units.LatencyFromMillis(20), 0.01) {
+		t.Error("more RTT should mean less throughput")
+	}
+	// Degenerate RTT.
+	if Mathis(cap100, 0, 0.01) != cap100 {
+		t.Error("zero RTT should return capacity")
+	}
+}
+
+func TestModelAgreesWithMathisOrder(t *testing.T) {
+	// The simulation and the analytic model should agree on ordering:
+	// a clean fast path beats a lossy slow one.
+	fast, err := Run(fastPath(), Config{Direction: Download, Duration: 8 * time.Second, Rho: 0.1}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := slowPath()
+	lossy.Loss = 0.02
+	slow, err := Run(lossy, Config{Direction: Download, Duration: 8 * time.Second, Rho: 0.6}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Goodput <= slow.Goodput {
+		t.Errorf("fast %v should beat slow %v", fast.Goodput, slow.Goodput)
+	}
+	mFast := Mathis(units.Throughput(fastPath().DownMbps), fastPath().BaseRTT, fastPath().Loss)
+	mSlow := Mathis(units.Throughput(lossy.DownMbps), lossy.BaseRTT, lossy.Loss)
+	if mFast <= mSlow {
+		t.Errorf("Mathis ordering: %v should beat %v", mFast, mSlow)
+	}
+}
+
+func TestPing(t *testing.T) {
+	p := fastPath()
+	samples := Ping(p, 20, 0.2, rng.New(19))
+	if len(samples) != 20 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s < p.BaseRTT {
+			t.Errorf("ping %v below base RTT", s)
+		}
+	}
+	if Ping(p, 0, 0, nil) != nil {
+		t.Error("zero pings should be nil")
+	}
+	if got := Ping(p, 3, 0.1, nil); len(got) != 3 {
+		t.Error("nil source should still work")
+	}
+}
+
+func BenchmarkRun10s(b *testing.B) {
+	p := fastPath()
+	cfg := Config{Direction: Download, Duration: 10 * time.Second, Rho: 0.3}
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, cfg, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestControlLawStrings(t *testing.T) {
+	if LawBBR.String() != "bbr" || LawReno.String() != "reno" {
+		t.Error("control law strings")
+	}
+	if ControlLaw(9).String() == "" {
+		t.Error("unknown law should still format")
+	}
+}
+
+// TestRenoLossSensitive reproduces the NDT5->NDT7 transition: on a lossy
+// path, Reno's AIMD under-reports capacity relative to BBR.
+func TestRenoLossSensitive(t *testing.T) {
+	p := fastPath()
+	p.Loss = 0.005 // 0.5% random loss
+	bbr, err := Run(p, Config{Direction: Download, Duration: 8 * time.Second, Rho: 0.2, Law: LawBBR}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reno, err := Run(p, Config{Direction: Download, Duration: 8 * time.Second, Rho: 0.2, Law: LawReno}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reno.Goodput.Mbps() >= bbr.Goodput.Mbps()*0.5 {
+		t.Errorf("0.5%% loss: reno %v should be well below bbr %v", reno.Goodput, bbr.Goodput)
+	}
+	// And Reno's goodput should be in the ballpark of the Mathis bound.
+	mathis := Mathis(units.Throughput(p.DownMbps), p.BaseRTT, p.Loss)
+	ratio := reno.Goodput.Mbps() / mathis.Mbps()
+	if ratio < 0.2 || ratio > 3 {
+		t.Errorf("reno %v vs Mathis %v diverge by %vx", reno.Goodput, mathis, ratio)
+	}
+}
+
+// TestRenoCleanPathStillFills: with negligible loss and adequate time,
+// Reno reaches a large fraction of a small link.
+func TestRenoCleanPathStillFills(t *testing.T) {
+	p := slowPath()
+	p.Loss = 0.00001
+	reno, err := Run(p, Config{Direction: Download, Duration: 10 * time.Second, Rho: 0.1, Law: LawReno}, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reno.Goodput.Mbps() < p.DownMbps*0.4 {
+		t.Errorf("clean DSL: reno %v below 40%% of %v Mbps", reno.Goodput, p.DownMbps)
+	}
+}

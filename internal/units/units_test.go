@@ -1,0 +1,244 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDirectionMeets(t *testing.T) {
+	tests := []struct {
+		dir        Direction
+		value, thr float64
+		want       bool
+	}{
+		{HigherBetter, 25, 25, true},
+		{HigherBetter, 24.9, 25, false},
+		{HigherBetter, 100, 25, true},
+		{LowerBetter, 50, 50, true},
+		{LowerBetter, 50.1, 50, false},
+		{LowerBetter, 10, 50, true},
+	}
+	for _, tt := range tests {
+		if got := tt.dir.Meets(tt.value, tt.thr); got != tt.want {
+			t.Errorf("%v.Meets(%v, %v) = %v, want %v", tt.dir, tt.value, tt.thr, got, tt.want)
+		}
+	}
+}
+
+func TestDirectionBetter(t *testing.T) {
+	if !HigherBetter.Better(2, 1) {
+		t.Error("HigherBetter: 2 should beat 1")
+	}
+	if HigherBetter.Better(1, 1) {
+		t.Error("HigherBetter: equal is not strictly better")
+	}
+	if !LowerBetter.Better(1, 2) {
+		t.Error("LowerBetter: 1 should beat 2")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HigherBetter.String() != "higher-better" || LowerBetter.String() != "lower-better" {
+		t.Errorf("unexpected direction strings: %v %v", HigherBetter, LowerBetter)
+	}
+	if Direction(9).String() == "" {
+		t.Error("unknown direction should still format")
+	}
+}
+
+func TestThroughputConversions(t *testing.T) {
+	tp := 100 * Mbps
+	if got := tp.BitsPerSecond(); got != 100e6 {
+		t.Errorf("BitsPerSecond = %v, want 1e8", got)
+	}
+	if got := tp.BytesPerSecond(); got != 12.5e6 {
+		t.Errorf("BytesPerSecond = %v, want 1.25e7", got)
+	}
+	if got := (1 * Gbps).Mbps(); got != 1000 {
+		t.Errorf("Gbps.Mbps = %v, want 1000", got)
+	}
+	if got := (1 * Kbps).Mbps(); got != 0.001 {
+		t.Errorf("Kbps.Mbps = %v, want 0.001", got)
+	}
+}
+
+func TestThroughputString(t *testing.T) {
+	tests := []struct {
+		tp   Throughput
+		want string
+	}{
+		{25, "25 Mbit/s"},
+		{1500, "1.5 Gbit/s"},
+		{0.5, "500 kbit/s"},
+		{12.34, "12.34 Mbit/s"},
+	}
+	for _, tt := range tests {
+		if got := tt.tp.String(); got != tt.want {
+			t.Errorf("Throughput(%v).String() = %q, want %q", float64(tt.tp), got, tt.want)
+		}
+	}
+}
+
+func TestTimeToTransfer(t *testing.T) {
+	// 100 Mbit/s moves 12.5 MB per second.
+	d := (100 * Mbps).TimeToTransfer(12_500_000)
+	if want := time.Second; d < want-time.Millisecond || d > want+time.Millisecond {
+		t.Errorf("TimeToTransfer = %v, want ~%v", d, want)
+	}
+	if d := Throughput(0).TimeToTransfer(1); d != time.Duration(math.MaxInt64) {
+		t.Errorf("zero rate should return max duration, got %v", d)
+	}
+}
+
+func TestThroughputFromTransfer(t *testing.T) {
+	got := ThroughputFromTransfer(12_500_000, time.Second)
+	if math.Abs(got.Mbps()-100) > 1e-9 {
+		t.Errorf("ThroughputFromTransfer = %v, want 100 Mbps", got)
+	}
+	if got := ThroughputFromTransfer(1, 0); got != 0 {
+		t.Errorf("zero duration should yield 0, got %v", got)
+	}
+}
+
+func TestThroughputRoundTrip(t *testing.T) {
+	f := func(bytes uint32) bool {
+		n := int64(bytes) + 1
+		d := (50 * Mbps).TimeToTransfer(n)
+		back := ThroughputFromTransfer(n, d)
+		return math.Abs(back.Mbps()-50) < 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseThroughput(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"25", 25, true},
+		{"25Mbps", 25, true},
+		{"25 Mbit/s", 25, true},
+		{"1.5Gbps", 1500, true},
+		{"800kbps", 0.8, true},
+		{"8MB/s", 64, true},
+		{"1000000bps", 1, true},
+		{"", 0, false},
+		{"fast", 0, false},
+		{"-5", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParseThroughput(tt.in)
+		if tt.ok != (err == nil) {
+			t.Errorf("ParseThroughput(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			continue
+		}
+		if tt.ok && math.Abs(got.Mbps()-tt.want) > 1e-9 {
+			t.Errorf("ParseThroughput(%q) = %v, want %v", tt.in, got.Mbps(), tt.want)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	l := LatencyFromMillis(50)
+	if l.Milliseconds() != 50 {
+		t.Errorf("Milliseconds = %v, want 50", l.Milliseconds())
+	}
+	if l.Duration() != 50*time.Millisecond {
+		t.Errorf("Duration = %v, want 50ms", l.Duration())
+	}
+	if got := l.String(); got != "50 ms" {
+		t.Errorf("String = %q, want \"50 ms\"", got)
+	}
+}
+
+func TestParseLatency(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"50", 50, true},
+		{"50ms", 50, true},
+		{"1.2s", 1200, true},
+		{"0", 0, true},
+		{"", 0, false},
+		{"-3", 0, false},
+		{"-3ms", 0, false},
+		{"slow", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParseLatency(tt.in)
+		if tt.ok != (err == nil) {
+			t.Errorf("ParseLatency(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			continue
+		}
+		if tt.ok && math.Abs(got.Milliseconds()-tt.want) > 1e-9 {
+			t.Errorf("ParseLatency(%q) = %v ms, want %v", tt.in, got.Milliseconds(), tt.want)
+		}
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	r := LossFromPercent(0.5)
+	if math.Abs(float64(r)-0.005) > 1e-12 {
+		t.Errorf("LossFromPercent(0.5) = %v, want 0.005", float64(r))
+	}
+	if r.Percent() != 0.5 {
+		t.Errorf("Percent = %v, want 0.5", r.Percent())
+	}
+	if got := r.String(); got != "0.5%" {
+		t.Errorf("String = %q, want \"0.5%%\"", got)
+	}
+	if !r.Valid() || LossRate(-0.1).Valid() || LossRate(1.1).Valid() {
+		t.Error("Valid() range check failed")
+	}
+	if LossRate(math.NaN()).Valid() {
+		t.Error("NaN loss should be invalid")
+	}
+}
+
+func TestParseLossRate(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"0.5%", 0.005, true},
+		{"1%", 0.01, true},
+		{"0.005", 0.005, true},
+		{"2.5", 0.025, true}, // >1 bare number treated as percent
+		{"1", 1, true},       // exactly 1 stays a fraction
+		{"", 0, false},
+		{"200%", 0, false},
+		{"oops", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParseLossRate(tt.in)
+		if tt.ok != (err == nil) {
+			t.Errorf("ParseLossRate(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			continue
+		}
+		if tt.ok && math.Abs(float64(got)-tt.want) > 1e-12 {
+			t.Errorf("ParseLossRate(%q) = %v, want %v", tt.in, float64(got), tt.want)
+		}
+	}
+}
+
+func TestTrimZeros(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"25.00", "25"},
+		{"1.50", "1.5"},
+		{"100", "100"},
+		{"0.001", "0.001"},
+	}
+	for _, tt := range tests {
+		if got := trimZeros(tt.in); got != tt.want {
+			t.Errorf("trimZeros(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
