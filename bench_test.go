@@ -11,6 +11,8 @@ package repro
 import (
 	"context"
 	"io"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -137,6 +139,102 @@ func BenchmarkAggregateStore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cfg.AggregateStore(store, "XA-01-001", time.Time{}, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRecords synthesizes n records spread over regions and ASNs for
+// store benchmarks.
+func benchRecords(n int) []dataset.Record {
+	src := rng.New(7)
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]dataset.Record, n)
+	for i := range recs {
+		region := "XA-0" + itoa(i%4+1) + "-00" + itoa(i%8+1)
+		rec := dataset.NewRecord("b"+itoa(i), "ndt", region, ts)
+		rec.ASN = uint32(i%5 + 64500)
+		rec.SetValue(dataset.Download, src.LogNormalFromMoments(100, 0.8))
+		rec.SetValue(dataset.Latency, src.LogNormalFromMoments(40, 0.5))
+		recs[i] = rec
+	}
+	return recs
+}
+
+// BenchmarkStoreAddBatch measures batched ingestion into the sharded
+// store — the pipeline's write path (workers flush in batches of 256).
+func BenchmarkStoreAddBatch(b *testing.B) {
+	recs := benchRecords(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Fresh store each round; IDs are unique per store, not per round.
+		store := dataset.NewStore()
+		b.StartTimer()
+		for lo := 0; lo < len(recs); lo += 256 {
+			hi := lo + 256
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			if err := store.AddBatch(recs[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStoreAddParallel measures contended single-record ingestion
+// across shards, the worst case for the old global-lock store.
+func BenchmarkStoreAddParallel(b *testing.B) {
+	recs := benchRecords(1 << 18)
+	store := dataset.NewStore()
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if err := store.Add(recs[i%len(recs)]); err != nil && !strings.Contains(err.Error(), "duplicate") {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkStoreAggregateSketch measures a quantile served from the
+// streaming sketch index (cells promoted past the cutover), versus
+// BenchmarkStoreAggregateExact, the same query forced down the exact
+// materialize-and-sort fallback. The gap is the streaming speedup.
+func BenchmarkStoreAggregateSketch(b *testing.B) {
+	store := dataset.NewStoreWith(dataset.Options{SketchCutover: 64})
+	if err := store.AddBatch(benchRecords(100000)); err != nil {
+		b.Fatal(err)
+	}
+	f := dataset.Filter{Dataset: "ndt", RegionPrefix: "XA"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Aggregate(f, dataset.Download, 95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreAggregateExact forces the exact path for the same
+// workload by filtering on a dimension the sketch cells cannot express.
+func BenchmarkStoreAggregateExact(b *testing.B) {
+	store := dataset.NewStoreWith(dataset.Options{SketchCutover: 64})
+	recs := benchRecords(100000)
+	for i := range recs {
+		recs[i].ASN = 64500 // single ASN so the exact query covers everything
+	}
+	if err := store.AddBatch(recs); err != nil {
+		b.Fatal(err)
+	}
+	f := dataset.Filter{Dataset: "ndt", RegionPrefix: "XA", ASN: 64500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Aggregate(f, dataset.Download, 95); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,5 +2,7 @@
 // reproduction. The implementation lives under internal/ (see DESIGN.md
 // for the system inventory); the runnable tools live under cmd/ and
 // examples/; this package holds the repository-level benchmark suite
-// (bench_test.go) that regenerates every table and figure.
+// (bench_test.go) that regenerates every table and figure plus
+// micro-benchmarks for the sharded dataset store's write and
+// streaming-aggregation paths.
 package repro

@@ -1,0 +1,3 @@
+module iqb
+
+go 1.22

@@ -1,12 +1,39 @@
 // Package dataset defines the unified measurement record the IQB
-// framework aggregates, an in-memory store with region/ISP/time indexes
-// and group-by percentile aggregation, and NDJSON/CSV codecs for moving
-// records in and out of the system.
+// framework aggregates, a sharded in-memory store with region/ISP/time
+// indexes, streaming group-by percentile aggregation, and NDJSON/CSV
+// codecs for moving records in and out of the system.
 //
 // Records from different measurement systems carry different subsets of
 // metrics (Ookla aggregates, for example, publish no packet loss), so
 // every metric is optional; missing values are NaN internally and omitted
 // on the wire.
+//
+// # Store architecture
+//
+// The Store stripes records over lock-sharded partitions keyed by
+// hash(dataset, region); queries fan out and merge on read, sorting by a
+// global insertion sequence where insertion order is part of the
+// contract (Select, Values). A separate stripe set enforces
+// (dataset, ID) uniqueness across shards, and AddBatch validates and
+// dedup-checks an entire batch before mutating anything, so a mid-batch
+// failure never leaves the store partially updated.
+//
+// Quantile aggregation is streaming: every insert folds metric values
+// into a per-(dataset, region, metric) cell that is exact up to a
+// cutover and then promotes to a DDSketch, so Aggregate answers
+// region-scoped percentile queries without materializing values. Filters
+// the cells cannot express (ASN, time windows, cross-metric presence)
+// fall back to an exact indexed scan.
+//
+// # Determinism contract
+//
+// Every aggregate the store serves is a pure function of the record
+// multiset, independent of insertion interleaving: exact paths sort
+// before computing percentiles and the sketch path uses DDSketch, whose
+// bucket-count state is order-independent. A store built by N concurrent
+// writers answers bit-identically to one built serially from the same
+// records — the property the pipeline's fixed-seed reproducibility
+// guarantee is built on.
 package dataset
 
 import (

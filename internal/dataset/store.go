@@ -2,32 +2,120 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"iqb/internal/stats"
 )
 
-// Store is an in-memory measurement store with secondary indexes on
-// region and ASN. It is safe for concurrent use; reads never block other
-// reads.
-type Store struct {
-	mu       sync.RWMutex
-	records  []Record
-	byRegion map[string][]int
-	byASN    map[uint32][]int
-	ids      map[string]struct{} // dataset/id uniqueness
+// Default store geometry. 32 shards keeps writer contention negligible
+// up to several dozen cores while the fan-out cost of merge-on-read
+// queries stays trivial.
+const (
+	DefaultShards = 32
+	// DefaultSketchCutover is how many values a (dataset, region,
+	// metric) cell holds exactly before promoting to a sketch. Every
+	// laptop-scale experiment in this repo stays below it, so their
+	// aggregates are bit-identical to a full scan; production-scale
+	// cells promote and become O(buckets).
+	DefaultSketchCutover = 1024
+
+	idStripeCount = 64
+)
+
+// Options configures store geometry and the streaming aggregation path.
+// The zero value selects all defaults.
+type Options struct {
+	// Shards is the number of lock stripes; <= 0 means DefaultShards.
+	Shards int
+	// SketchCutover is the per-cell exact-value budget before sketch
+	// promotion; <= 0 means DefaultSketchCutover.
+	SketchCutover int
+	// SketchAlpha is the DDSketch relative accuracy; <= 0 means
+	// stats.DefaultDDSketchAlpha.
+	SketchAlpha float64
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		byRegion: make(map[string][]int),
-		byASN:    make(map[uint32][]int),
-		ids:      make(map[string]struct{}),
+// Store is an in-memory measurement store, sharded for concurrent
+// ingestion and indexed for region/ISP/time queries.
+//
+// # Architecture
+//
+// Records are striped over Options.Shards shards by hash(dataset,
+// region); each shard has its own mutex, records slice, and region/ASN
+// indexes, so writers for different regions never contend and readers
+// fan out across shards and merge (sorting by a global insertion
+// sequence wherever insertion order is part of the contract). A second,
+// independent stripe set enforces (dataset, ID) uniqueness across the
+// whole store.
+//
+// On top of the record shards sits a streaming aggregation index: every
+// insert folds its metric values into a per-(dataset, region, metric)
+// cell. Cells are exact up to Options.SketchCutover values and then
+// promote to an order-independent stats.DDSketch, so Aggregate answers
+// quantile queries without materializing values. Filters the cells
+// cannot express (ASN, time bounds, foreign HasMetric) fall back to an
+// exact scan.
+//
+// # Determinism
+//
+// Every aggregate the store serves is a pure function of the record
+// multiset, never of arrival order: exact paths sort before computing
+// percentiles, and the sketch path uses DDSketch, whose bucket-count
+// state is order-independent by construction. Concurrent writers —
+// any number of them, interleaved any way — therefore produce a store
+// whose Aggregate/Summary/GroupAggregate answers are bit-identical.
+// The pipeline's fixed-seed determinism guarantee leans on this.
+//
+// The store is safe for concurrent use; reads never block other reads.
+type Store struct {
+	shards  []*shard
+	stripes [idStripeCount]idStripe
+	seq     atomic.Uint64
+	cutover int
+	alpha   float64
+}
+
+// NewStore returns an empty store with default options.
+func NewStore() *Store { return NewStoreWith(Options{}) }
+
+// NewStoreWith returns an empty store with explicit options.
+func NewStoreWith(o Options) *Store {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
 	}
+	if o.SketchCutover <= 0 {
+		o.SketchCutover = DefaultSketchCutover
+	}
+	if o.SketchAlpha <= 0 {
+		o.SketchAlpha = stats.DefaultDDSketchAlpha
+	}
+	s := &Store{
+		shards:  make([]*shard, o.Shards),
+		cutover: o.SketchCutover,
+		alpha:   o.SketchAlpha,
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	for i := range s.stripes {
+		s.stripes[i].ids = make(map[string]struct{})
+	}
+	return s
+}
+
+// NumShards reports the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+func (s *Store) shardFor(ds, region string) *shard {
+	return s.shards[fnv64a(ds, region)%uint64(len(s.shards))]
+}
+
+func (s *Store) stripeFor(key string) *idStripe {
+	return &s.stripes[fnv64a(key)%idStripeCount]
 }
 
 // Add validates and inserts a record. Duplicate (dataset, ID) pairs are
@@ -37,60 +125,153 @@ func (s *Store) Add(r Record) error {
 		return err
 	}
 	key := r.Dataset + "/" + r.ID
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.ids[key]; dup {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	if _, dup := st.ids[key]; dup {
+		st.mu.Unlock()
 		return fmt.Errorf("dataset: duplicate record %s", key)
 	}
-	s.ids[key] = struct{}{}
-	idx := len(s.records)
-	s.records = append(s.records, r)
-	s.byRegion[r.Region] = append(s.byRegion[r.Region], idx)
-	if r.ASN != 0 {
-		s.byASN[r.ASN] = append(s.byASN[r.ASN], idx)
+	st.ids[key] = struct{}{}
+	st.mu.Unlock()
+
+	sh := s.shardFor(r.Dataset, r.Region)
+	sh.mu.Lock()
+	sh.insertLocked(s.seq.Add(1), r, s.cutover, s.alpha)
+	sh.mu.Unlock()
+	return nil
+}
+
+// AddBatch validates and inserts a batch atomically with respect to
+// errors: the whole batch is validated and checked for duplicates
+// (against the store and within itself) before any record is stored, so
+// a mid-batch failure leaves the store unchanged. Records land with
+// consecutive insertion sequence numbers, and each destination shard is
+// locked once for the whole batch rather than per record.
+func (s *Store) AddBatch(rs []Record) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	keys := make([]string, len(rs))
+	seen := make(map[string]int, len(rs))
+	for i, r := range rs {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("dataset: record %d of %d: %w", i+1, len(rs), err)
+		}
+		k := r.Dataset + "/" + r.ID
+		if first, dup := seen[k]; dup {
+			return fmt.Errorf("dataset: record %d of %d: duplicate record %s within batch (first at record %d)", i+1, len(rs), k, first+1)
+		}
+		seen[k] = i
+		keys[i] = k
+	}
+
+	// Claim every ID atomically: lock all involved stripes in sorted
+	// order (deadlock-free against other batches, and against Add, which
+	// holds at most one stripe), check every key, then insert every key.
+	// Holding the locks for the whole check+insert means a failing batch
+	// is invisible to concurrent writers — no transient reservations to
+	// roll back or collide with.
+	byStripe := make(map[uint64][]int)
+	for i, k := range keys {
+		si := fnv64a(k) % idStripeCount
+		byStripe[si] = append(byStripe[si], i)
+	}
+	order := make([]uint64, 0, len(byStripe))
+	for si := range byStripe {
+		order = append(order, si)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+
+	for _, si := range order {
+		s.stripes[si].mu.Lock()
+	}
+	unlock := func() {
+		for _, si := range order {
+			s.stripes[si].mu.Unlock()
+		}
+	}
+	for i, k := range keys {
+		if _, dup := s.stripes[fnv64a(k)%idStripeCount].ids[k]; dup {
+			unlock()
+			return fmt.Errorf("dataset: record %d of %d: duplicate record %s", i+1, len(rs), k)
+		}
+	}
+	for _, k := range keys {
+		s.stripes[fnv64a(k)%idStripeCount].ids[k] = struct{}{}
+	}
+	unlock()
+
+	// Sequence numbers are claimed as one contiguous block so the batch
+	// keeps its internal order under Select regardless of which shard
+	// each record lands in.
+	base := s.seq.Add(uint64(len(rs))) - uint64(len(rs))
+	byShard := make(map[*shard][]int)
+	for i, r := range rs {
+		sh := s.shardFor(r.Dataset, r.Region)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		sh.mu.Lock()
+		for _, i := range idxs {
+			sh.insertLocked(base+uint64(i)+1, rs[i], s.cutover, s.alpha)
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
-// AddAll inserts a batch, stopping at the first error.
-func (s *Store) AddAll(rs []Record) error {
-	for i, r := range rs {
-		if err := s.Add(r); err != nil {
-			return fmt.Errorf("dataset: record %d of %d: %w", i+1, len(rs), err)
-		}
-	}
-	return nil
-}
+// AddAll inserts a batch with AddBatch semantics: the whole batch is
+// validated up front and a failure leaves the store unchanged.
+func (s *Store) AddAll(rs []Record) error { return s.AddBatch(rs) }
 
 // Len returns the number of stored records.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.records)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Datasets returns the distinct dataset names present, sorted.
 func (s *Store) Datasets() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := map[string]bool{}
-	for _, r := range s.records {
-		set[r.Dataset] = true
-	}
-	out := make([]string, 0, len(set))
-	for d := range set {
+	counts := s.DatasetCounts()
+	out := make([]string, 0, len(counts))
+	for d := range counts {
 		out = append(out, d)
 	}
 	sort.Strings(out)
 	return out
 }
 
+// DatasetCounts returns the number of records per dataset name in
+// O(shards) without scanning records.
+func (s *Store) DatasetCounts() map[string]int {
+	counts := map[string]int{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for d, n := range sh.byDataset {
+			counts[d] += n
+		}
+		sh.mu.RUnlock()
+	}
+	return counts
+}
+
 // Regions returns the distinct region codes present, sorted.
 func (s *Store) Regions() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.byRegion))
-	for r := range s.byRegion {
+	set := map[string]bool{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for r := range sh.byRegion {
+			set[r] = true
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
 		out = append(out, r)
 	}
 	sort.Strings(out)
@@ -141,94 +322,160 @@ func regionMatch(prefix, code string) bool {
 	return strings.HasPrefix(code, prefix) && len(code) > len(prefix) && code[len(prefix)] == '-'
 }
 
+// sketchServable reports whether the filter can be answered from the
+// (dataset, region, metric) sketch cells for metric m: cells carry no
+// ASN, time, or cross-metric presence information.
+func sketchServable(f Filter, m Metric) bool {
+	if f.ASN != 0 || !f.From.IsZero() || !f.To.IsZero() {
+		return false
+	}
+	switch len(f.HasMetric) {
+	case 0:
+		return true
+	case 1:
+		return f.HasMetric[0] == m
+	default:
+		return false
+	}
+}
+
 // Select returns a copy of all records matching f, in insertion order.
 func (s *Store) Select(f Filter) []Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []Record
-	for _, idx := range s.candidates(f) {
-		if r := s.records[idx]; f.matches(r) {
-			out = append(out, r)
+	var hits []seqRecord
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, idx := range sh.candidatesLocked(f) {
+			if sr := sh.records[idx]; f.matches(sr.rec) {
+				hits = append(hits, sr)
+			}
 		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].seq < hits[j].seq })
+	out := make([]Record, len(hits))
+	for i, sr := range hits {
+		out[i] = sr.rec
 	}
 	return out
 }
 
 // Count returns the number of records matching f without copying them.
 func (s *Store) Count(f Filter) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, idx := range s.candidates(f) {
-		if f.matches(s.records[idx]) {
-			n++
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, idx := range sh.candidatesLocked(f) {
+			if f.matches(sh.records[idx].rec) {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// candidates narrows the scan using indexes where the filter allows.
-// Must be called with the read lock held.
-func (s *Store) candidates(f Filter) []int {
-	if f.ASN != 0 {
-		return s.byASN[f.ASN]
+// Values extracts the metric values of all records matching f, in
+// insertion order.
+func (s *Store) Values(f Filter, m Metric) []float64 {
+	type seqVal struct {
+		seq uint64
+		v   float64
 	}
-	if f.RegionPrefix != "" {
-		if exact, ok := s.byRegion[f.RegionPrefix]; ok && !s.hasDescendants(f.RegionPrefix) {
-			return exact
-		}
-		// Prefix scan across region buckets.
-		var out []int
-		for region, idxs := range s.byRegion {
-			if regionMatch(f.RegionPrefix, region) {
-				out = append(out, idxs...)
+	var hits []seqVal
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, idx := range sh.candidatesLocked(f) {
+			sr := sh.records[idx]
+			if !f.matches(sr.rec) {
+				continue
+			}
+			if v, ok := sr.rec.Value(m); ok {
+				hits = append(hits, seqVal{sr.seq, v})
 			}
 		}
-		sort.Ints(out)
-		return out
+		sh.mu.RUnlock()
 	}
-	all := make([]int, len(s.records))
-	for i := range all {
-		all[i] = i
-	}
-	return all
-}
-
-func (s *Store) hasDescendants(prefix string) bool {
-	for region := range s.byRegion {
-		if region != prefix && regionMatch(prefix, region) {
-			return true
-		}
-	}
-	return false
-}
-
-// Values extracts the metric values of all records matching f.
-func (s *Store) Values(f Filter, m Metric) []float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []float64
-	for _, idx := range s.candidates(f) {
-		r := s.records[idx]
-		if !f.matches(r) {
-			continue
-		}
-		if v, ok := r.Value(m); ok {
-			out = append(out, v)
-		}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].seq < hits[j].seq })
+	out := make([]float64, len(hits))
+	for i, h := range hits {
+		out[i] = h.v
 	}
 	return out
 }
 
-// Aggregate computes the q-th percentile of metric m over records
-// matching f. It returns stats.ErrNoData when nothing matches.
+// Aggregate computes the q-th percentile (q in [0, 100]) of metric m
+// over records matching f. It returns stats.ErrNoData when nothing
+// matches. Filters the streaming index can express are answered from
+// the per-(dataset, region, metric) cells — exactly while every cell is
+// below the sketch cutover, within the sketch's relative-error bound
+// once promoted — without materializing values; other filters fall back
+// to an exact scan.
 func (s *Store) Aggregate(f Filter, m Metric, q float64) (float64, error) {
-	vals := s.Values(f, m)
-	return stats.Percentile(vals, q)
+	v, _, err := s.AggregateCount(f, m, q)
+	return v, err
+}
+
+// AggregateCount is Aggregate plus the number of metric values the
+// answer was computed over.
+func (s *Store) AggregateCount(f Filter, m Metric, q float64) (float64, int, error) {
+	if q < 0 || q > 100 || math.IsNaN(q) {
+		return 0, 0, fmt.Errorf("dataset: percentile %v out of [0,100]", q)
+	}
+	if !sketchServable(f, m) {
+		vals := s.Values(f, m)
+		v, err := stats.Percentile(vals, q)
+		return v, len(vals), err
+	}
+	var (
+		exact  []float64
+		merged *stats.DDSketch
+		count  int
+	)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, c := range sh.cells {
+			if k.metric != m {
+				continue
+			}
+			if f.Dataset != "" && k.dataset != f.Dataset {
+				continue
+			}
+			if f.RegionPrefix != "" && !regionMatch(f.RegionPrefix, k.region) {
+				continue
+			}
+			count += c.count
+			if c.sketch != nil {
+				if merged == nil {
+					merged = stats.NewDDSketch(s.alpha)
+				}
+				if err := merged.Merge(c.sketch); err != nil {
+					sh.mu.RUnlock()
+					return 0, 0, err
+				}
+			} else {
+				exact = append(exact, c.exact...)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if count == 0 {
+		return 0, 0, stats.ErrNoData
+	}
+	if merged == nil {
+		// Every contributing cell is still exact: answer bit-identically
+		// to a full scan.
+		v, err := stats.Percentile(exact, q)
+		return v, count, err
+	}
+	for _, x := range exact {
+		merged.Add(x)
+	}
+	v, err := merged.Quantile(q / 100)
+	return v, count, err
 }
 
 // Summary computes descriptive statistics of metric m over records
-// matching f.
+// matching f. It always scans exactly.
 func (s *Store) Summary(f Filter, m Metric) (stats.Summary, error) {
 	return stats.Summarize(s.Values(f, m))
 }
@@ -252,35 +499,39 @@ type Group struct {
 
 // GroupAggregate buckets records matching f by key and computes the q-th
 // percentile of m within each bucket. Buckets with no metric values are
-// omitted. Results are sorted by key.
+// omitted. Results are sorted by key. The scan fans out across shards
+// without a global lock.
 func (s *Store) GroupAggregate(f Filter, key GroupKey, m Metric, q float64) ([]Group, error) {
-	s.mu.RLock()
-	buckets := map[string][]float64{}
-	for _, idx := range s.candidates(f) {
-		r := s.records[idx]
-		if !f.matches(r) {
-			continue
-		}
-		v, ok := r.Value(m)
-		if !ok {
-			continue
-		}
-		var k string
-		switch key {
-		case ByRegion:
-			k = r.Region
-		case ByDataset:
-			k = r.Dataset
-		case ByASN:
-			k = fmt.Sprintf("AS%d", r.ASN)
-		default:
-			s.mu.RUnlock()
-			return nil, fmt.Errorf("dataset: unknown group key %d", key)
-		}
-		buckets[k] = append(buckets[k], v)
+	switch key {
+	case ByRegion, ByDataset, ByASN:
+	default:
+		return nil, fmt.Errorf("dataset: unknown group key %d", key)
 	}
-	s.mu.RUnlock()
-
+	buckets := map[string][]float64{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, idx := range sh.candidatesLocked(f) {
+			r := sh.records[idx].rec
+			if !f.matches(r) {
+				continue
+			}
+			v, ok := r.Value(m)
+			if !ok {
+				continue
+			}
+			var k string
+			switch key {
+			case ByRegion:
+				k = r.Region
+			case ByDataset:
+				k = r.Dataset
+			case ByASN:
+				k = fmt.Sprintf("AS%d", r.ASN)
+			}
+			buckets[k] = append(buckets[k], v)
+		}
+		sh.mu.RUnlock()
+	}
 	out := make([]Group, 0, len(buckets))
 	for k, vals := range buckets {
 		p, err := stats.Percentile(vals, q)
@@ -296,20 +547,22 @@ func (s *Store) GroupAggregate(f Filter, key GroupKey, m Metric, q float64) ([]G
 // TimeBounds returns the earliest and latest record timestamps matching
 // f. ok is false when nothing matches.
 func (s *Store) TimeBounds(f Filter) (min, max time.Time, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, idx := range s.candidates(f) {
-		r := s.records[idx]
-		if !f.matches(r) {
-			continue
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, idx := range sh.candidatesLocked(f) {
+			r := sh.records[idx].rec
+			if !f.matches(r) {
+				continue
+			}
+			if !ok || r.Time.Before(min) {
+				min = r.Time
+			}
+			if !ok || r.Time.After(max) {
+				max = r.Time
+			}
+			ok = true
 		}
-		if !ok || r.Time.Before(min) {
-			min = r.Time
-		}
-		if !ok || r.Time.After(max) {
-			max = r.Time
-		}
-		ok = true
+		sh.mu.RUnlock()
 	}
 	return min, max, ok
 }

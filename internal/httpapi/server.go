@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"time"
 
 	"iqb/internal/dataset"
@@ -220,12 +221,16 @@ type DatasetCount struct {
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	// One O(shards) pass instead of a per-dataset record scan.
+	counts := s.store.DatasetCounts()
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []DatasetCount
-	for _, name := range s.store.Datasets() {
-		out = append(out, DatasetCount{
-			Name:    name,
-			Records: s.store.Count(dataset.Filter{Dataset: name}),
-		})
+	for _, name := range names {
+		out = append(out, DatasetCount{Name: name, Records: counts[name]})
 	}
 	writeJSON(w, out)
 }

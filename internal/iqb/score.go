@@ -276,6 +276,12 @@ func (c Config) ScoreAggregates(agg *Aggregates) (Score, error) {
 // cell), using the configured percentile and convention. This is the
 // general scoring scope: region subtrees, single ISPs, time windows, or
 // any combination.
+//
+// Aggregation reads through the store's streaming quantile path:
+// region-scoped cells are answered from per-(dataset, region, metric)
+// sketch cells without materializing values, while filters the cells
+// cannot express (ASN, time windows) fall back to an exact scan inside
+// the store.
 func (c Config) AggregateFiltered(store *dataset.Store, base dataset.Filter) (*Aggregates, error) {
 	if store == nil {
 		return nil, fmt.Errorf("iqb: nil store")
@@ -286,15 +292,14 @@ func (c Config) AggregateFiltered(store *dataset.Store, base dataset.Filter) (*A
 			f := base
 			f.Dataset = d.Name
 			f.HasMetric = []Requirement{r}
-			vals := store.Values(f, r)
-			if len(vals) == 0 {
+			p, n, err := store.AggregateCount(f, r, c.effectivePercentile(r))
+			if errors.Is(err, stats.ErrNoData) {
 				continue
 			}
-			p, err := stats.Percentile(vals, c.effectivePercentile(r))
 			if err != nil {
 				return nil, fmt.Errorf("iqb: aggregating %s/%v: %w", d.Name, r, err)
 			}
-			agg.Set(d.Name, r, p, len(vals))
+			agg.Set(d.Name, r, p, n)
 		}
 	}
 	return agg, nil

@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"iqb/internal/iqb"
+)
+
+// TestScoreAllDeterministicAcrossWorkerCounts is the determinism
+// regression pin: for a fixed Spec.Seed, pipeline.Run followed by
+// ScoreAll must produce bit-identical scores for every worker count.
+// This exercises the whole shared-nothing ingestion path — per-worker
+// record batches into the sharded store, per-worker Ookla collectors
+// merged after the join — and the store's order-independent aggregation.
+func TestScoreAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := iqb.DefaultConfig()
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	type outcome struct {
+		workers int
+		counts  map[string]int
+		scores  map[string]iqb.Score
+		isps    []ISPScore
+	}
+	var outcomes []outcome
+	for _, w := range workerCounts {
+		spec := smallSpec()
+		spec.Workers = w
+		res, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		scores, err := res.ScoreAll(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		isps, err := res.RankISPs(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		outcomes = append(outcomes, outcome{w, res.Counts, scores, isps})
+	}
+
+	ref := outcomes[0]
+	for _, o := range outcomes[1:] {
+		for name, n := range ref.counts {
+			if o.counts[name] != n {
+				t.Errorf("dataset %s: %d records with 1 worker, %d with %d workers",
+					name, n, o.counts[name], o.workers)
+			}
+		}
+		if len(o.scores) != len(ref.scores) {
+			t.Errorf("scored %d regions with %d workers, %d with 1", len(o.scores), o.workers, len(ref.scores))
+		}
+		for region, rs := range ref.scores {
+			os := o.scores[region]
+			if os.IQB != rs.IQB || os.Grade != rs.Grade || os.Coverage != rs.Coverage {
+				t.Errorf("region %s: workers=1 (IQB %v, %s, cov %v) vs workers=%d (IQB %v, %s, cov %v)",
+					region, rs.IQB, rs.Grade, rs.Coverage, o.workers, os.IQB, os.Grade, os.Coverage)
+			}
+		}
+		for i := range ref.isps {
+			if o.isps[i].ASN != ref.isps[i].ASN || o.isps[i].Score.IQB != ref.isps[i].Score.IQB {
+				t.Errorf("ISP rank %d differs across worker counts: AS%d (%v) vs AS%d (%v)",
+					i, ref.isps[i].ASN, ref.isps[i].Score.IQB, o.isps[i].ASN, o.isps[i].Score.IQB)
+			}
+		}
+	}
+}

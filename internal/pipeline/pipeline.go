@@ -6,8 +6,12 @@
 // publisher — and score every region with the IQB framework.
 //
 // Execution is deterministic for a fixed Spec: every job derives its own
-// random stream from the spec seed, so worker scheduling cannot perturb
-// results.
+// random stream from the spec seed, Ookla aggregation orders samples by
+// job ID before summing, and the store's aggregates are order-independent
+// by construction — so ScoreAll output is bit-identical for any Workers
+// value. Ingestion is shared-nothing: workers buffer records and flush
+// them to the sharded store in batches, and each worker queues raw Ookla
+// samples on its own collector, merged only after the workers join.
 package pipeline
 
 import (
@@ -15,13 +19,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"iqb/internal/cfspeed"
 	"iqb/internal/dataset"
 	"iqb/internal/geo"
 	"iqb/internal/iqb"
-	"iqb/internal/ndt"
 	"iqb/internal/netem"
 	"iqb/internal/ookla"
 	"iqb/internal/rng"
@@ -160,7 +163,20 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// flushBatch is how many records a worker buffers before handing them to
+// the store in one AddBatch call. It amortizes shard locking without
+// letting per-worker buffers grow past a few memory pages.
+const flushBatch = 256
+
 // Run executes the full pipeline.
+//
+// Ingestion is shared-nothing until the join: each worker buffers
+// records and flushes them to the sharded store in batches, and queues
+// raw Ookla samples on its own collector. After the workers join, the
+// collectors merge and publish. Determinism for a fixed Spec.Seed is
+// unaffected by Workers: every job derives its own random stream from
+// its job ID, Ookla aggregation orders samples by job ID, and the
+// store's aggregates are pure functions of the record multiset.
 func Run(ctx context.Context, spec Spec) (*Result, error) {
 	world, err := BuildWorld(spec)
 	if err != nil {
@@ -174,8 +190,6 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	jobs := buildJobs(world, spec)
 
 	store := dataset.NewStore()
-	publisher := ookla.NewPublisher()
-	var pubMu sync.Mutex
 
 	workers := spec.Workers
 	if workers <= 0 {
@@ -185,21 +199,53 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	var wg sync.WaitGroup
 	var errOnce sync.Once
 	var firstErr error
+	var failed atomic.Bool
 	fail := func(err error) {
+		failed.Store(true)
 		errOnce.Do(func() { firstErr = err })
 	}
 
+	pubs := make([]*ookla.Publisher, workers)
 	for w := 0; w < workers; w++ {
+		pubs[w] = ookla.NewPublisher()
 		wg.Add(1)
-		go func() {
+		go func(pub *ookla.Publisher) {
 			defer wg.Done()
+			buf := make([]dataset.Record, 0, flushBatch)
+			flush := func() error {
+				if len(buf) == 0 {
+					return nil
+				}
+				err := store.AddBatch(buf)
+				buf = buf[:0]
+				return err
+			}
 			for j := range jobCh {
-				if err := runJob(world, spec, j, store, publisher, &pubMu); err != nil {
+				if failed.Load() {
+					continue // drain so the feeder never blocks
+				}
+				rec, raw, err := produceRecord(world, spec, j)
+				if err != nil {
 					fail(err)
-					return
+					continue
+				}
+				if raw != nil {
+					if err := pub.Add(*raw); err != nil {
+						fail(err)
+					}
+					continue
+				}
+				buf = append(buf, rec)
+				if len(buf) >= flushBatch {
+					if err := flush(); err != nil {
+						fail(err)
+					}
 				}
 			}
-		}()
+			if err := flush(); err != nil {
+				fail(err)
+			}
+		}(pubs[w])
 	}
 
 feed:
@@ -217,72 +263,26 @@ feed:
 		return nil, firstErr
 	}
 
-	// Publish the Ookla aggregates into the store.
+	// Merge the per-worker collectors and publish the Ookla aggregates
+	// into the store.
+	publisher := ookla.NewPublisher()
+	for _, pub := range pubs {
+		publisher.Merge(pub)
+	}
 	aggregates, err := publisher.Publish(spec.OoklaMinGroup)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: publishing ookla aggregates: %w", err)
 	}
-	if err := store.AddAll(aggregates); err != nil {
+	if err := store.AddBatch(aggregates); err != nil {
 		return nil, fmt.Errorf("pipeline: storing ookla aggregates: %w", err)
 	}
 
-	counts := map[string]int{}
-	for _, name := range store.Datasets() {
-		counts[name] = store.Count(dataset.Filter{Dataset: name})
-	}
 	return &Result{
 		World:   world,
 		Store:   store,
-		Counts:  counts,
+		Counts:  store.DatasetCounts(),
 		Elapsed: time.Since(started),
 	}, nil
-}
-
-// runJob executes one scheduled test deterministically.
-func runJob(world *World, spec Spec, j job, store *dataset.Store, pub *ookla.Publisher, pubMu *sync.Mutex) error {
-	src := rng.New(spec.Seed).Fork(fmt.Sprintf("job-%d", j.id))
-	sub, err := world.DrawSubscriber(j.county, src)
-	if err != nil {
-		return err
-	}
-	hour := float64(j.at.Hour()) + float64(j.at.Minute())/60
-	rho := netem.Diurnal(hour) * src.Range(0.8, 1.2)
-	if rho > 0.9 {
-		rho = 0.9
-	}
-
-	switch j.dataset {
-	case "ndt":
-		res, err := ndt.Simulate(sub.Path, rho, src)
-		if err != nil {
-			return err
-		}
-		rec, err := res.ToRecord(fmt.Sprintf("ndt-%d", j.id), sub.Region, sub.ASN, sub.Tech.String(), j.at)
-		if err != nil {
-			return err
-		}
-		return store.Add(rec)
-	case "cloudflare":
-		res, err := cfspeed.Simulate(sub.Path, rho, src)
-		if err != nil {
-			return err
-		}
-		rec, err := res.ToRecord(fmt.Sprintf("cf-%d", j.id), sub.Region, sub.ASN, sub.Tech.String(), j.at)
-		if err != nil {
-			return err
-		}
-		return store.Add(rec)
-	case "ookla":
-		res, err := ookla.Simulate(sub.Path, rho, src)
-		if err != nil {
-			return err
-		}
-		pubMu.Lock()
-		defer pubMu.Unlock()
-		return pub.Add(ookla.RawSample{Region: sub.Region, ASN: sub.ASN, Time: j.at, Result: res})
-	default:
-		return fmt.Errorf("pipeline: unknown dataset %q", j.dataset)
-	}
 }
 
 // RegionScore pairs a region with its score.

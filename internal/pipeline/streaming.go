@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iqb/internal/cfspeed"
@@ -44,9 +45,6 @@ func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
 
 	jobs := buildJobs(world, spec)
 	sketch := dataset.NewSketcher(300)
-	publisher := ookla.NewPublisher()
-	var mu sync.Mutex
-	ingested := map[string]int{}
 
 	workers := spec.Workers
 	if workers <= 0 {
@@ -56,37 +54,43 @@ func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
 	var wg sync.WaitGroup
 	var errOnce sync.Once
 	var firstErr error
-	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	var failed atomic.Bool
+	fail := func(err error) {
+		failed.Store(true)
+		errOnce.Do(func() { firstErr = err })
+	}
 
+	// Shared-nothing collectors, merged after the join.
+	pubs := make([]*ookla.Publisher, workers)
+	ingestedBy := make([]map[string]int, workers)
 	for w := 0; w < workers; w++ {
+		pubs[w] = ookla.NewPublisher()
+		ingestedBy[w] = map[string]int{}
 		wg.Add(1)
-		go func() {
+		go func(pub *ookla.Publisher, counts map[string]int) {
 			defer wg.Done()
 			for j := range jobCh {
+				if failed.Load() {
+					continue // drain so the feeder never blocks
+				}
 				rec, raw, err := produceRecord(world, spec, j)
 				if err != nil {
 					fail(err)
-					return
+					continue
 				}
 				if raw != nil {
-					mu.Lock()
-					err = publisher.Add(*raw)
-					mu.Unlock()
-					if err != nil {
+					if err := pub.Add(*raw); err != nil {
 						fail(err)
-						return
 					}
 					continue
 				}
 				if err := sketch.Ingest(rec); err != nil {
 					fail(err)
-					return
+					continue
 				}
-				mu.Lock()
-				ingested[rec.Dataset]++
-				mu.Unlock()
+				counts[rec.Dataset]++
 			}
-		}()
+		}(pubs[w], ingestedBy[w])
 	}
 
 feed:
@@ -102,6 +106,15 @@ feed:
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	publisher := ookla.NewPublisher()
+	ingested := map[string]int{}
+	for w := 0; w < workers; w++ {
+		publisher.Merge(pubs[w])
+		for ds, n := range ingestedBy[w] {
+			ingested[ds] += n
+		}
 	}
 
 	aggregates, err := publisher.Publish(spec.OoklaMinGroup)
@@ -187,7 +200,9 @@ func produceRecord(world *World, spec Spec, j job) (dataset.Record, *ookla.RawSa
 		if err != nil {
 			return dataset.Record{}, nil, err
 		}
-		return dataset.Record{}, &ookla.RawSample{Region: sub.Region, ASN: sub.ASN, Time: j.at, Result: res}, nil
+		// Seq carries the deterministic job ID so the publisher
+		// aggregates groups in a worker-count-independent order.
+		return dataset.Record{}, &ookla.RawSample{Region: sub.Region, ASN: sub.ASN, Time: j.at, Result: res, Seq: j.id}, nil
 	default:
 		return dataset.Record{}, nil, fmt.Errorf("pipeline: unknown dataset %q", j.dataset)
 	}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DDSketch is a mergeable streaming quantile sketch with a relative-error
+// guarantee (Masson, Lee & Rim, VLDB 2019): every returned quantile is
+// within a factor (1±alpha) of an exact order statistic. Values map to
+// geometrically sized buckets indexed by ceil(log_gamma(x)) with
+// gamma = (1+alpha)/(1-alpha), and the sketch stores only bucket counts.
+//
+// Unlike TDigest, whose centroids depend on the order values arrive in,
+// a DDSketch is a pure counting structure: the state built from a
+// multiset of values is identical no matter how insertions or merges were
+// interleaved. That order-independence is why the dataset store uses it
+// as its sketch-index backend — quantiles served from sketches stay
+// bit-identical across pipeline worker counts, preserving the documented
+// determinism contract.
+//
+// Only non-negative values are accepted (all IQB metrics are
+// non-negative); values indistinguishable from zero are counted in a
+// dedicated zero bucket.
+type DDSketch struct {
+	alpha    float64
+	gamma    float64
+	lnGamma  float64
+	bins     map[int]uint64
+	zeros    uint64
+	n        uint64
+	min, max float64
+}
+
+// ddMinIndexable is the smallest value with its own log bucket; anything
+// below it is treated as zero. Loss fractions at measurement resolution
+// sit far above this.
+const ddMinIndexable = 1e-9
+
+// DefaultDDSketchAlpha is the relative accuracy used when none is given:
+// 0.5% error, a few hundred buckets over the dynamic range of network
+// metrics.
+const DefaultDDSketchAlpha = 0.005
+
+// NewDDSketch returns a sketch with relative accuracy alpha in (0, 1).
+// Values outside that range fall back to DefaultDDSketchAlpha.
+func NewDDSketch(alpha float64) *DDSketch {
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		alpha = DefaultDDSketchAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &DDSketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		bins:    make(map[int]uint64),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+// Alpha returns the relative-accuracy parameter.
+func (d *DDSketch) Alpha() float64 { return d.alpha }
+
+// Add observes x. NaN and negative values are ignored.
+func (d *DDSketch) Add(x float64) {
+	if math.IsNaN(x) || x < 0 {
+		return
+	}
+	d.n++
+	if x < d.min {
+		d.min = x
+	}
+	if x > d.max {
+		d.max = x
+	}
+	if x < ddMinIndexable {
+		d.zeros++
+		return
+	}
+	d.bins[d.index(x)]++
+}
+
+func (d *DDSketch) index(x float64) int {
+	return int(math.Ceil(math.Log(x) / d.lnGamma))
+}
+
+// value is the representative of bucket i: the point at most a factor
+// (1+alpha) away from every member of the bucket.
+func (d *DDSketch) value(i int) float64 {
+	return 2 * math.Pow(d.gamma, float64(i)) / (d.gamma + 1)
+}
+
+// Count returns the number of observed values.
+func (d *DDSketch) Count() float64 { return float64(d.n) }
+
+// BinCount reports the number of occupied buckets (for tests and memory
+// accounting).
+func (d *DDSketch) BinCount() int { return len(d.bins) }
+
+// Merge folds other into d; other is unchanged. Both sketches must share
+// the same alpha, so their bucket boundaries line up exactly and the
+// merge is a plain count addition.
+func (d *DDSketch) Merge(other *DDSketch) error {
+	if other == nil || other.n == 0 {
+		return nil
+	}
+	if other.alpha != d.alpha {
+		return fmt.Errorf("stats: merging ddsketches with different alpha (%v vs %v)", d.alpha, other.alpha)
+	}
+	for i, c := range other.bins {
+		d.bins[i] += c
+	}
+	d.zeros += other.zeros
+	d.n += other.n
+	if other.min < d.min {
+		d.min = other.min
+	}
+	if other.max > d.max {
+		d.max = other.max
+	}
+	return nil
+}
+
+// Quantile returns the estimated q-quantile (q in [0, 1]). The rank
+// convention matches Percentile's Hyndman-Fan type 7 at the extremes:
+// q=0 returns the exact minimum and q=1 the exact maximum.
+func (d *DDSketch) Quantile(q float64) (float64, error) {
+	if d.n == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	if q == 0 {
+		return d.min, nil
+	}
+	if q == 1 {
+		return d.max, nil
+	}
+	rank := q * float64(d.n-1)
+	cum := float64(d.zeros)
+	if rank < cum {
+		return 0, nil
+	}
+	keys := make([]int, 0, len(d.bins))
+	for i := range d.bins {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	for _, i := range keys {
+		cum += float64(d.bins[i])
+		if rank < cum {
+			v := d.value(i)
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return v, nil
+		}
+	}
+	return d.max, nil
+}

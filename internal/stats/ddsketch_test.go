@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDDSketchEmpty(t *testing.T) {
+	d := NewDDSketch(0.01)
+	if _, err := d.Quantile(0.5); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty sketch should return ErrNoData, got %v", err)
+	}
+	if d.Count() != 0 {
+		t.Errorf("Count = %v", d.Count())
+	}
+}
+
+func TestDDSketchDefaultAlpha(t *testing.T) {
+	for _, bad := range []float64{0, -1, 1, 2, math.NaN()} {
+		if a := NewDDSketch(bad).Alpha(); a != DefaultDDSketchAlpha {
+			t.Errorf("alpha(%v) = %v, want default", bad, a)
+		}
+	}
+}
+
+func TestDDSketchQuantileErrors(t *testing.T) {
+	d := NewDDSketch(0.01)
+	d.Add(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := d.Quantile(q); err == nil {
+			t.Errorf("quantile %v should error", q)
+		}
+	}
+}
+
+func TestDDSketchIgnoresInvalid(t *testing.T) {
+	d := NewDDSketch(0.01)
+	d.Add(math.NaN())
+	d.Add(-5)
+	if d.Count() != 0 {
+		t.Errorf("invalid values counted: %v", d.Count())
+	}
+}
+
+func TestDDSketchRelativeAccuracy(t *testing.T) {
+	const alpha = 0.01
+	src := rand.New(rand.NewSource(7))
+	d := NewDDSketch(alpha)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		// Log-normal spanning several decades, like throughput values.
+		xs[i] = math.Exp(src.NormFloat64()*1.5 + 3)
+		d.Add(xs[i])
+	}
+	for _, q := range []float64{0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+		exact, err := Percentile(xs, q*100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-exact) / exact; rel > 2*alpha {
+			t.Errorf("q=%v: sketch %v vs exact %v, rel err %v > %v", q, got, exact, rel, 2*alpha)
+		}
+	}
+	// Extremes are exact.
+	if v, _ := d.Quantile(0); v != minOf(xs) {
+		t.Errorf("q=0 = %v, want exact min %v", v, minOf(xs))
+	}
+	if v, _ := d.Quantile(1); v != maxOf(xs) {
+		t.Errorf("q=1 = %v, want exact max %v", v, maxOf(xs))
+	}
+}
+
+// TestDDSketchOrderIndependence is the property the dataset store's
+// determinism contract rests on: any insertion interleaving and any
+// merge topology over the same value multiset yields bit-identical
+// quantiles.
+func TestDDSketchOrderIndependence(t *testing.T) {
+	src := rand.New(rand.NewSource(11))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = math.Exp(src.NormFloat64() * 2)
+	}
+	forward := NewDDSketch(0.005)
+	for _, x := range xs {
+		forward.Add(x)
+	}
+	backward := NewDDSketch(0.005)
+	for i := len(xs) - 1; i >= 0; i-- {
+		backward.Add(xs[i])
+	}
+	// Striped across 7 sketches then merged, like shards merging on read.
+	parts := make([]*DDSketch, 7)
+	for i := range parts {
+		parts[i] = NewDDSketch(0.005)
+	}
+	for i, x := range xs {
+		parts[i%7].Add(x)
+	}
+	merged := NewDDSketch(0.005)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		a, err := forward.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := backward.Quantile(q)
+		c, _ := merged.Quantile(q)
+		if a != b || a != c {
+			t.Errorf("q=%v: forward %v backward %v merged %v not identical", q, a, b, c)
+		}
+	}
+}
+
+func TestDDSketchMergeAlphaMismatch(t *testing.T) {
+	a := NewDDSketch(0.01)
+	b := NewDDSketch(0.02)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different alphas should error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil should be a no-op, got %v", err)
+	}
+	if err := a.Merge(NewDDSketch(0.02)); err != nil {
+		t.Errorf("merging an empty sketch should be a no-op, got %v", err)
+	}
+}
+
+func TestDDSketchZeros(t *testing.T) {
+	d := NewDDSketch(0.01)
+	for i := 0; i < 90; i++ {
+		d.Add(0)
+	}
+	for i := 0; i < 10; i++ {
+		d.Add(100)
+	}
+	if v, err := d.Quantile(0.5); err != nil || v != 0 {
+		t.Errorf("median of mostly-zeros = %v, %v", v, err)
+	}
+	if v, err := d.Quantile(0.95); err != nil || math.Abs(v-100)/100 > 0.02 {
+		t.Errorf("p95 = %v, %v, want ~100", v, err)
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

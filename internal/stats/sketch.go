@@ -1,0 +1,31 @@
+package stats
+
+// QuantileSketch is the common surface of the package's streaming
+// quantile estimators: fold values in one at a time, then ask for any
+// quantile. Both mergeable sketches implement it; they differ in the
+// trade-off they make:
+//
+//   - TDigest: tighter error near the tails for a given size, but its
+//     centroid state depends on insertion and merge order, so two
+//     digests over the same multiset can answer slightly differently.
+//   - DDSketch: a uniform relative-error guarantee and fully
+//     order-independent state — the choice wherever deterministic
+//     answers are part of the contract (the dataset store's sketch
+//     index).
+//
+// PSquare tracks a single pre-declared quantile in O(1) space and is
+// deliberately outside this interface (it cannot answer arbitrary
+// quantiles, nor merge).
+type QuantileSketch interface {
+	// Add observes one value.
+	Add(x float64)
+	// Quantile returns the estimated q-quantile, q in [0, 1].
+	Quantile(q float64) (float64, error)
+	// Count returns the total observed weight.
+	Count() float64
+}
+
+var (
+	_ QuantileSketch = (*TDigest)(nil)
+	_ QuantileSketch = (*DDSketch)(nil)
+)
