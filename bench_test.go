@@ -240,6 +240,66 @@ func BenchmarkStoreAggregateExact(b *testing.B) {
 	}
 }
 
+// BenchmarkSketcherIngestParallel measures contended streaming ingestion
+// into the lock-striped sketcher — the RunStreaming hot path. Records
+// spread over regions land in different stripes, so writers should
+// scale with cores instead of serializing on one sketch lock.
+func BenchmarkSketcherIngestParallel(b *testing.B) {
+	recs := benchRecords(1 << 16)
+	sk := dataset.NewSketcher(0)
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if err := sk.Ingest(recs[i%len(recs)]); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkGroupAggregateCells measures a ByRegion group-by served from
+// the store's cell index (cells promoted past the cutover): cost scales
+// with the number of cells, not records. BenchmarkGroupAggregateScan is
+// the same grouping forced down the exact record scan for contrast.
+func BenchmarkGroupAggregateCells(b *testing.B) {
+	store := dataset.NewStoreWith(dataset.Options{SketchCutover: 64})
+	if err := store.AddBatch(benchRecords(100000)); err != nil {
+		b.Fatal(err)
+	}
+	f := dataset.Filter{Dataset: "ndt"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.GroupAggregate(f, dataset.ByRegion, dataset.Download, 95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupAggregateScan forces the exact per-bucket materializing
+// path for the same workload by filtering on a dimension the cells
+// cannot express.
+func BenchmarkGroupAggregateScan(b *testing.B) {
+	store := dataset.NewStoreWith(dataset.Options{SketchCutover: 64})
+	recs := benchRecords(100000)
+	for i := range recs {
+		recs[i].ASN = 64500 // single ASN so the exact query covers everything
+	}
+	if err := store.AddBatch(recs); err != nil {
+		b.Fatal(err)
+	}
+	f := dataset.Filter{Dataset: "ndt", ASN: 64500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.GroupAggregate(f, dataset.ByRegion, dataset.Download, 95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkNDTSimulate measures one simulated NDT test (the pipeline's
 // dominant cost).
 func BenchmarkNDTSimulate(b *testing.B) {

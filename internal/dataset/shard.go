@@ -156,12 +156,87 @@ func (c *metricCell) add(v float64, cutover int, alpha float64) {
 	}
 	c.exact = append(c.exact, v)
 	if len(c.exact) > cutover {
-		c.sketch = stats.NewDDSketch(alpha)
-		for _, x := range c.exact {
-			c.sketch.Add(x)
-		}
-		c.exact = nil
+		c.promote(alpha)
 	}
+}
+
+// promote folds the exact values into a fresh sketch and drops them.
+func (c *metricCell) promote(alpha float64) {
+	c.sketch = stats.NewDDSketch(alpha)
+	for _, x := range c.exact {
+		c.sketch.Add(x)
+	}
+	c.exact = nil
+}
+
+// merge folds other into c; other is unchanged. The result is the cell a
+// single writer would have built from the union of both value multisets:
+// still exact if the combined count fits under the cutover, otherwise a
+// sketch over every value — in either case a pure function of the
+// multiset, so merging per-worker cells in any order reproduces
+// single-writer state exactly.
+func (c *metricCell) merge(other *metricCell, cutover int, alpha float64) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	c.count += other.count
+	if c.sketch == nil && other.sketch == nil {
+		c.exact = append(c.exact, other.exact...)
+		if len(c.exact) > cutover {
+			c.promote(alpha)
+		}
+		return nil
+	}
+	if c.sketch == nil {
+		c.promote(alpha)
+	}
+	if other.sketch != nil {
+		return c.sketch.Merge(other.sketch)
+	}
+	for _, x := range other.exact {
+		c.sketch.Add(x)
+	}
+	return nil
+}
+
+// cellAccum accumulates matching metric cells for one quantile answer:
+// exact values while every contributing cell is below the cutover, a
+// merged DDSketch as soon as any has promoted. It is the shared read
+// side of the cell design, used by Store.AggregateCount,
+// Store.groupAggregateCells, and Sketcher.Quantile.
+type cellAccum struct {
+	count  int
+	exact  []float64
+	merged *stats.DDSketch
+}
+
+// add folds one cell in; the caller holds the cell's stripe lock.
+func (a *cellAccum) add(c *metricCell, alpha float64) error {
+	a.count += c.count
+	if c.sketch != nil {
+		if a.merged == nil {
+			a.merged = stats.NewDDSketch(alpha)
+		}
+		return a.merged.Merge(c.sketch)
+	}
+	a.exact = append(a.exact, c.exact...)
+	return nil
+}
+
+// quantile answers after accumulation; the caller must have checked
+// count > 0. The quantile arrives in both conventions — q01 in [0,1]
+// and pct in [0,100] — so each path uses the caller's native form and
+// no float division can drift the exact answer away from a full scan's.
+func (a *cellAccum) quantile(q01, pct float64) (float64, error) {
+	if a.merged == nil {
+		// Every contributing cell is still exact: answer bit-identically
+		// to a full scan.
+		return stats.Percentile(a.exact, pct)
+	}
+	for _, x := range a.exact {
+		a.merged.Add(x)
+	}
+	return a.merged.Quantile(q01)
 }
 
 // idStripe is one stripe of the global (dataset, ID) uniqueness set.

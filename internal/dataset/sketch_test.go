@@ -3,6 +3,7 @@ package dataset
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 )
 
 func TestSketcherQuantileMatchesExact(t *testing.T) {
-	sk := NewSketcher(200)
+	sk := NewSketcher(0)
 	store := NewStore()
 	src := rng.New(5)
 	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
@@ -111,8 +112,209 @@ func TestSketcherCells(t *testing.T) {
 	}
 }
 
+// sketchRecords synthesizes n records spread over datasets and regions,
+// some of whose cells will cross a small cutover and promote.
+func sketchRecords(n int) []Record {
+	src := rng.New(11)
+	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	recs := make([]Record, n)
+	for i := range recs {
+		ds := []string{"ndt", "cloudflare"}[i%2]
+		// Decorrelated from the dataset parity so both datasets cover
+		// both states.
+		region := "XA-0" + string(rune('1'+(i/2)%2)) + "-00" + string(rune('1'+i%3))
+		r := NewRecord(uniq(i), ds, region, ts)
+		r.SetValue(Download, src.LogNormalFromMoments(100, 0.8))
+		r.SetValue(Latency, src.LogNormalFromMoments(40, 0.5))
+		recs[i] = r
+	}
+	return recs
+}
+
+// TestSketcherMergeMatchesSingleIngestion pins the merge contract: a
+// sketcher assembled by merging per-worker sketchers — overlapping cells
+// (all workers see all regions) or disjoint cells (workers own distinct
+// regions) — must answer every quantile bit-identically to one sketcher
+// that ingested everything, including cells promoted past the cutover.
+func TestSketcherMergeMatchesSingleIngestion(t *testing.T) {
+	const cutover = 64
+	opts := Options{SketchCutover: cutover, SketchAlpha: 0.01}
+	recs := sketchRecords(2000)
+
+	single := NewSketcherWith(opts)
+	if err := single.IngestAll(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	splits := map[string]func(i int, r Record) int{
+		// Round-robin: every part sees every (dataset, region) cell.
+		"overlapping": func(i int, r Record) int { return i % 3 },
+		// By region: parts own disjoint cell sets.
+		"disjoint": func(i int, r Record) int { return int(r.Region[4] - '1') },
+	}
+	for name, pick := range splits {
+		parts := []*Sketcher{NewSketcherWith(opts), NewSketcherWith(opts), NewSketcherWith(opts)}
+		for i, r := range recs {
+			if err := parts[pick(i, r)].Ingest(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged := NewSketcherWith(opts)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Cells() != single.Cells() {
+			t.Errorf("%s: merged cells = %d, single = %d", name, merged.Cells(), single.Cells())
+		}
+		for _, ds := range []string{"ndt", "cloudflare"} {
+			for _, prefix := range []string{"", "XA-01", "XA-02-001"} {
+				for _, q := range []float64{0.05, 0.5, 0.95} {
+					mv, mn, merr := merged.Quantile(ds, prefix, Download, q)
+					sv, sn, serr := single.Quantile(ds, prefix, Download, q)
+					if (merr == nil) != (serr == nil) || mv != sv || mn != sn {
+						t.Errorf("%s: %s %q q=%v: merged (%v, %d, %v) vs single (%v, %d, %v)",
+							name, ds, prefix, q, mv, mn, merr, sv, sn, serr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSketcherMergeGeometryMismatch(t *testing.T) {
+	a := NewSketcherWith(Options{SketchAlpha: 0.01})
+	b := NewSketcherWith(Options{SketchAlpha: 0.02})
+	if err := a.Merge(b); err == nil {
+		t.Error("different alpha should refuse to merge")
+	}
+	c := NewSketcherWith(Options{SketchAlpha: 0.01, SketchCutover: 16})
+	if err := a.Merge(c); err == nil {
+		t.Error("different cutover should refuse to merge")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge should be a no-op, got %v", err)
+	}
+	if err := a.Merge(a); err != nil {
+		t.Errorf("self merge should be a no-op, got %v", err)
+	}
+}
+
+// TestSketcherQuantileStable pins half the determinism contract: the
+// same sketcher must answer the same quantile query identically on
+// repeated calls, for exact and promoted cells alike.
+func TestSketcherQuantileStable(t *testing.T) {
+	sk := NewSketcherWith(Options{SketchCutover: 64})
+	if err := sk.IngestAll(sketchRecords(2000)); err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []string{"", "XA-01", "XA-02-001"} {
+		for _, q := range []float64{0.05, 0.5, 0.95} {
+			first, n0, err := sk.Quantile("ndt", prefix, Download, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				v, n, err := sk.Quantile("ndt", prefix, Download, q)
+				if err != nil || v != first || n != n0 {
+					t.Fatalf("prefix %q q=%v call %d: (%v, %d, %v) != first (%v, %d)",
+						prefix, q, i, v, n, err, first, n0)
+				}
+			}
+		}
+	}
+}
+
+// TestSketcherIngestOrderIndependent pins the other half: sketchers fed
+// the same records in opposite orders answer bit-identically.
+func TestSketcherIngestOrderIndependent(t *testing.T) {
+	recs := sketchRecords(2000)
+	opts := Options{SketchCutover: 64}
+	fwd, bwd := NewSketcherWith(opts), NewSketcherWith(opts)
+	for i := range recs {
+		if err := fwd.Ingest(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := bwd.Ingest(recs[len(recs)-1-i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		fv, fn, ferr := fwd.Quantile("ndt", "XA", Download, q)
+		bv, bn, berr := bwd.Quantile("ndt", "XA", Download, q)
+		if ferr != nil || berr != nil || fv != bv || fn != bn {
+			t.Errorf("q=%v: forward (%v, %d, %v) vs backward (%v, %d, %v)", q, fv, fn, ferr, bv, bn, berr)
+		}
+	}
+}
+
+// TestSketcherConcurrentIngestQuantile is the race-detector workout for
+// the striped cells: parallel Ingest against Quantile/Cells readers and
+// a concurrent Merge from a worker sketcher.
+func TestSketcherConcurrentIngestQuantile(t *testing.T) {
+	sk := NewSketcherWith(Options{SketchCutover: 32})
+	recs := sketchRecords(4000)
+	const writers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+1)
+	per := len(recs) / writers
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(chunk []Record) {
+			defer wg.Done()
+			errCh <- sk.IngestAll(chunk)
+		}(recs[w*per : (w+1)*per])
+	}
+	// A worker sketcher merged in mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		worker := NewSketcherWith(Options{SketchCutover: 32})
+		ts := time.Date(2025, 6, 2, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < 500; i++ {
+			r := NewRecord("m"+uniq(i), "ookla", "XB-01-001", ts)
+			r.SetValue(Download, float64(i+1))
+			if err := worker.Ingest(r); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- sk.Merge(worker)
+	}()
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sk.Quantile("ndt", "XA", Download, 0.95)
+				sk.Quantile("cloudflare", "", Latency, 0.5)
+				sk.Cells()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	for i := 0; i < writers+1; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, n, err := sk.Quantile("ookla", "XB", Download, 0.5); err != nil || n != 500 {
+		t.Errorf("merged worker cells: n = %d, err = %v", n, err)
+	}
+}
+
 func BenchmarkSketcherIngest(b *testing.B) {
-	sk := NewSketcher(200)
+	sk := NewSketcher(0)
 	src := rng.New(1)
 	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
 	r := NewRecord("x", "ndt", "XA-01-001", ts)

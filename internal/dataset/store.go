@@ -426,11 +426,7 @@ func (s *Store) AggregateCount(f Filter, m Metric, q float64) (float64, int, err
 		v, err := stats.Percentile(vals, q)
 		return v, len(vals), err
 	}
-	var (
-		exact  []float64
-		merged *stats.DDSketch
-		count  int
-	)
+	var acc cellAccum
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for k, c := range sh.cells {
@@ -443,35 +439,18 @@ func (s *Store) AggregateCount(f Filter, m Metric, q float64) (float64, int, err
 			if f.RegionPrefix != "" && !regionMatch(f.RegionPrefix, k.region) {
 				continue
 			}
-			count += c.count
-			if c.sketch != nil {
-				if merged == nil {
-					merged = stats.NewDDSketch(s.alpha)
-				}
-				if err := merged.Merge(c.sketch); err != nil {
-					sh.mu.RUnlock()
-					return 0, 0, err
-				}
-			} else {
-				exact = append(exact, c.exact...)
+			if err := acc.add(c, s.alpha); err != nil {
+				sh.mu.RUnlock()
+				return 0, 0, err
 			}
 		}
 		sh.mu.RUnlock()
 	}
-	if count == 0 {
+	if acc.count == 0 {
 		return 0, 0, stats.ErrNoData
 	}
-	if merged == nil {
-		// Every contributing cell is still exact: answer bit-identically
-		// to a full scan.
-		v, err := stats.Percentile(exact, q)
-		return v, count, err
-	}
-	for _, x := range exact {
-		merged.Add(x)
-	}
-	v, err := merged.Quantile(q / 100)
-	return v, count, err
+	v, err := acc.quantile(q/100, q)
+	return v, acc.count, err
 }
 
 // Summary computes descriptive statistics of metric m over records
@@ -501,11 +480,24 @@ type Group struct {
 // percentile of m within each bucket. Buckets with no metric values are
 // omitted. Results are sorted by key. The scan fans out across shards
 // without a global lock.
+//
+// ByRegion and ByDataset group-bys with sketch-servable filters are
+// answered from the per-(dataset, region, metric) cell index without
+// materializing per-bucket value slices: the cost scales with the number
+// of cells, not records. ByASN and filters the cells cannot express
+// (ASN, time bounds, foreign HasMetric) fall back to the exact scan,
+// mirroring Aggregate.
 func (s *Store) GroupAggregate(f Filter, key GroupKey, m Metric, q float64) ([]Group, error) {
 	switch key {
 	case ByRegion, ByDataset, ByASN:
 	default:
 		return nil, fmt.Errorf("dataset: unknown group key %d", key)
+	}
+	if q < 0 || q > 100 || math.IsNaN(q) {
+		return nil, fmt.Errorf("dataset: percentile %v out of [0,100]", q)
+	}
+	if (key == ByRegion || key == ByDataset) && sketchServable(f, m) {
+		return s.groupAggregateCells(f, key, m, q)
 	}
 	buckets := map[string][]float64{}
 	for _, sh := range s.shards {
@@ -539,6 +531,53 @@ func (s *Store) GroupAggregate(f Filter, key GroupKey, m Metric, q float64) ([]G
 			return nil, err
 		}
 		out = append(out, Group{Key: k, Count: len(vals), Value: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// groupAggregateCells answers a ByRegion/ByDataset group-by straight
+// from the cell index: cells matching the filter are merged per bucket —
+// exact values while every contributing cell is below the cutover
+// (answering bit-identically to the record scan), DDSketch merges once
+// cells have promoted.
+func (s *Store) groupAggregateCells(f Filter, key GroupKey, m Metric, q float64) ([]Group, error) {
+	buckets := map[string]*cellAccum{}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, c := range sh.cells {
+			if k.metric != m {
+				continue
+			}
+			if f.Dataset != "" && k.dataset != f.Dataset {
+				continue
+			}
+			if f.RegionPrefix != "" && !regionMatch(f.RegionPrefix, k.region) {
+				continue
+			}
+			gk := k.region
+			if key == ByDataset {
+				gk = k.dataset
+			}
+			b := buckets[gk]
+			if b == nil {
+				b = &cellAccum{}
+				buckets[gk] = b
+			}
+			if err := b.add(c, s.alpha); err != nil {
+				sh.mu.RUnlock()
+				return nil, err
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]Group, 0, len(buckets))
+	for gk, b := range buckets {
+		v, err := b.quantile(q/100, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Group{Key: gk, Count: b.count, Value: v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil

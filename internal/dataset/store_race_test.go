@@ -257,6 +257,73 @@ func TestSketchPromotionAccuracyAndCount(t *testing.T) {
 	}
 }
 
+// TestGroupAggregateCellsMatchExactScan pins the cell-served group-by
+// against the record scan. All records share one ASN, so the same
+// grouping can be forced down the exact path by filtering on it; the
+// cell path must agree — bit-identically while cells are exact, within
+// the sketch's relative error once promoted.
+func TestGroupAggregateCellsMatchExactScan(t *testing.T) {
+	build := func(cutover int) *Store {
+		s := NewStoreWith(Options{SketchCutover: cutover, SketchAlpha: 0.01})
+		src := rand.New(rand.NewSource(9))
+		for i := 0; i < 3000; i++ {
+			region := fmt.Sprintf("XA-%02d-%03d", i%2+1, i%5+1)
+			ds := []string{"ndt", "cloudflare"}[i%2]
+			if err := s.Add(mkRec(fmt.Sprintf("g%d", i), ds, region, 7, math.Exp(src.NormFloat64()+4))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	for _, tc := range []struct {
+		name    string
+		cutover int
+		exact   bool
+	}{
+		{"exact cells", 10000, true},
+		{"promoted cells", 32, false},
+	} {
+		s := build(tc.cutover)
+		for _, key := range []GroupKey{ByRegion, ByDataset} {
+			for _, f := range []Filter{{}, {Dataset: "ndt"}, {RegionPrefix: "XA-01"}} {
+				cells, err := s.GroupAggregate(f, key, Download, 95)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ef := f
+				ef.ASN = 7 // same records, but unservable from cells
+				scan, err := s.GroupAggregate(ef, key, Download, 95)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cells) != len(scan) {
+					t.Fatalf("%s key=%v f=%+v: %d cell groups vs %d scan groups", tc.name, key, f, len(cells), len(scan))
+				}
+				for i := range cells {
+					if cells[i].Key != scan[i].Key || cells[i].Count != scan[i].Count {
+						t.Errorf("%s key=%v f=%+v group %d: cell %+v vs scan %+v", tc.name, key, f, i, cells[i], scan[i])
+						continue
+					}
+					if tc.exact {
+						if cells[i].Value != scan[i].Value {
+							t.Errorf("%s key=%v f=%+v group %s: cell value %v != exact %v",
+								tc.name, key, f, cells[i].Key, cells[i].Value, scan[i].Value)
+						}
+					} else if rel := math.Abs(cells[i].Value-scan[i].Value) / scan[i].Value; rel > 0.02 {
+						t.Errorf("%s key=%v f=%+v group %s: cell value %v vs exact %v (rel %v)",
+							tc.name, key, f, cells[i].Key, cells[i].Value, scan[i].Value, rel)
+					}
+				}
+			}
+		}
+	}
+	// Out-of-range percentile is rejected up front on both paths.
+	s := build(10000)
+	if _, err := s.GroupAggregate(Filter{}, ByRegion, Download, 101); err == nil {
+		t.Error("percentile > 100 should error")
+	}
+}
+
 func TestAggregateExactBelowCutover(t *testing.T) {
 	// Below the cutover the sketch path must be bit-identical to a scan.
 	s := NewStore()

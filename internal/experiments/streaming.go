@@ -13,7 +13,7 @@ import (
 )
 
 // Streaming (E11) compares the exact (raw-record) scoring path against
-// the memory-bounded t-digest sketch path on the identical workload.
+// the memory-bounded DDSketch-cell path on the identical workload.
 // Because IQB's requirement scores are binary threshold checks, the
 // sketch's small quantile error should almost never flip a cell, so
 // per-county scores should agree closely — validating that a production
@@ -30,7 +30,7 @@ func Streaming(ctx context.Context, w io.Writer) error {
 	}
 	cfg := iqb.DefaultConfig()
 	fmt.Fprintln(w, "E11: exact vs streaming-sketch scoring on the identical workload")
-	fmt.Fprintf(w, "(sketch holds %d t-digest cells instead of %d raw records)\n\n",
+	fmt.Fprintf(w, "(sketch holds %d DDSketch-backed cells instead of %d raw records)\n\n",
 		stream.Sketch.Cells(), exact.Store.Len())
 
 	t := report.NewTable("County", "Exact IQB", "Sketch IQB", "|delta|", "Grades").AlignRight(1, 2, 3)

@@ -200,6 +200,33 @@ func TestDatasets(t *testing.T) {
 	}
 }
 
+// TestEmptyListsEncodeAsArrays pins the JSON shape of the list
+// endpoints: with no regions and no records they must encode [] — never
+// null, which breaks clients that iterate the response.
+func TestEmptyListsEncodeAsArrays(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv, err := New(iqb.DefaultConfig(), dataset.NewStore(), geo.NewDB(), logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	for _, path := range []string{"/v1/regions", "/v1/ranking", "/v1/datasets"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+		if got := strings.TrimSpace(string(body)); got != "[]" {
+			t.Errorf("%s body = %q, want []", path, got)
+		}
+	}
+}
+
 func TestConfigEndpoint(t *testing.T) {
 	ts := newAPIServer(t)
 	resp, err := http.Get(ts.URL + "/v1/config")

@@ -117,8 +117,10 @@ type RegionInfo struct {
 }
 
 func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
-	var out []RegionInfo
-	for _, code := range s.db.AllRegions() {
+	regions := s.db.AllRegions()
+	// Non-nil so an empty region set encodes as [] rather than null.
+	out := make([]RegionInfo, 0, len(regions))
+	for _, code := range regions {
 		reg, _ := s.db.Region(code)
 		out = append(out, RegionInfo{
 			Code:       reg.Code,
@@ -190,17 +192,13 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, scored{code, reg.Character.String(), sc})
 	}
-	// Insertion sort: descending score, then code.
-	for i := 1; i < len(rows); i++ {
-		for j := i; j > 0; j-- {
-			if rows[j].score.IQB > rows[j-1].score.IQB ||
-				(rows[j].score.IQB == rows[j-1].score.IQB && rows[j].code < rows[j-1].code) {
-				rows[j], rows[j-1] = rows[j-1], rows[j]
-			} else {
-				break
-			}
+	// Descending score, ties broken by code ascending.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].score.IQB != rows[j].score.IQB {
+			return rows[i].score.IQB > rows[j].score.IQB
 		}
-	}
+		return rows[i].code < rows[j].code
+	})
 	out := make([]RankingRow, len(rows))
 	for i, row := range rows {
 		out[i] = RankingRow{
@@ -228,7 +226,8 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var out []DatasetCount
+	// Non-nil so an empty store encodes as [] rather than null.
+	out := make([]DatasetCount, 0, len(names))
 	for _, name := range names {
 		out = append(out, DatasetCount{Name: name, Records: counts[name]})
 	}

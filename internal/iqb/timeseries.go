@@ -10,10 +10,14 @@ import (
 )
 
 // AggregateSketcher builds the framework aggregates from a streaming
-// sketch instead of raw records, using the configured percentile and
-// convention. This is the memory-bounded production path; thanks to the
-// binary threshold comparison, the small quantile error of the sketch
-// almost never changes a score.
+// sketcher instead of raw records, using the configured percentile and
+// convention. This is the memory-bounded production path, reading the
+// sketcher's per-(dataset, region, metric) DDSketch-backed cells: exact
+// below the cell cutover, within the sketch's relative-error bound
+// above it — and deterministic either way, since cell state is a pure
+// function of the ingested multiset. Thanks to the binary threshold
+// comparison, the small quantile error of a promoted cell almost never
+// changes a score.
 func (c Config) AggregateSketcher(sk *dataset.Sketcher, region string) (*Aggregates, error) {
 	if sk == nil {
 		return nil, fmt.Errorf("iqb: nil sketcher")

@@ -36,7 +36,7 @@ func failRecord(id, ds, region string, ts time.Time) dataset.Record {
 func TestScoreSketcherMatchesStore(t *testing.T) {
 	cfg := DefaultConfig()
 	store := dataset.NewStore()
-	sk := dataset.NewSketcher(300)
+	sk := dataset.NewSketcher(0)
 	src := rng.New(9)
 	ts := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
 	for i := 0; i < 3000; i++ {

@@ -35,13 +35,14 @@ func (c *Client) Run(ctx context.Context) (TestResult, error) {
 	}
 
 	var res TestResult
+	// First-sample init, not a zero sentinel: a 0 ms ping is a valid min.
 	minRTT := 0.0
 	for i := 0; i < pings; i++ {
 		rtt, err := c.ping(ctx)
 		if err != nil {
 			return TestResult{}, fmt.Errorf("ookla: ping %d: %w", i, err)
 		}
-		if minRTT == 0 || rtt < minRTT {
+		if i == 0 || rtt < minRTT {
 			minRTT = rtt
 		}
 	}

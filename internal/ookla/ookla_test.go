@@ -13,6 +13,25 @@ import (
 	"iqb/internal/units"
 )
 
+// TestMinMillisecondsZeroSample pins the min-RTT fix: a legitimate 0 ms
+// ping must win the min instead of being treated as "unset".
+func TestMinMillisecondsZeroSample(t *testing.T) {
+	samples := []units.Latency{
+		units.Latency(5 * time.Millisecond),
+		0,
+		units.Latency(12 * time.Millisecond),
+	}
+	if got := minMilliseconds(samples); got != 0 {
+		t.Errorf("min with a 0 ms sample = %v, want 0", got)
+	}
+	if got := minMilliseconds(samples[:1]); got != 5 {
+		t.Errorf("single-sample min = %v, want 5", got)
+	}
+	if got := minMilliseconds(nil); got != 0 {
+		t.Errorf("empty min = %v, want 0", got)
+	}
+}
+
 func testPath() netem.Path {
 	return netem.Path{
 		Tech:     netem.Cable,

@@ -10,6 +10,7 @@ import (
 	"iqb/internal/rng"
 	"iqb/internal/stats"
 	"iqb/internal/tcpmodel"
+	"iqb/internal/units"
 )
 
 // Simulate produces a raw multi-connection result for one subscriber
@@ -34,18 +35,26 @@ func Simulate(path netem.Path, rho float64, src *rng.Source) (TestResult, error)
 	if err != nil {
 		return TestResult{}, fmt.Errorf("ookla: simulating upload: %w", err)
 	}
-	minRTT := 0.0
-	for _, l := range tcpmodel.Ping(path, 10, rho, src) {
-		ms := l.Milliseconds()
-		if minRTT == 0 || ms < minRTT {
-			minRTT = ms
-		}
-	}
 	return TestResult{
 		DownloadMbps: down.Goodput.Mbps(),
 		UploadMbps:   up.Goodput.Mbps(),
-		LatencyMS:    minRTT,
+		LatencyMS:    minMilliseconds(tcpmodel.Ping(path, 10, rho, src)),
 	}, nil
+}
+
+// minMilliseconds returns the smallest latency sample in milliseconds,
+// initialized from the first sample rather than a zero sentinel — a
+// legitimate 0 ms ping must win the min, not read as "unset". Returns 0
+// for an empty slice.
+func minMilliseconds(ls []units.Latency) float64 {
+	minRTT := 0.0
+	for i, l := range ls {
+		ms := l.Milliseconds()
+		if i == 0 || ms < minRTT {
+			minRTT = ms
+		}
+	}
+	return minRTT
 }
 
 // RawSample is one subscriber test tagged with its origin, queued for

@@ -8,6 +8,63 @@ import (
 	"iqb/internal/iqb"
 )
 
+// TestStreamingScoreAllDeterministicAcrossWorkerCounts is the streaming
+// twin of TestScoreAllDeterministicAcrossWorkerCounts: for a fixed
+// Spec.Seed, RunStreaming followed by ScoreAll must produce
+// bit-identical scores for every worker count.
+// This exercises the shared-nothing streaming path — one Sketcher per
+// worker, merged after the join — and the sketcher's order-independent
+// DDSketch-backed cells; with the old order-sensitive t-digest cells the
+// merged quantiles drifted with worker count.
+func TestStreamingScoreAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := iqb.DefaultConfig()
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	type outcome struct {
+		workers  int
+		cells    int
+		ingested map[string]int
+		scores   map[string]iqb.Score
+	}
+	var outcomes []outcome
+	for _, w := range workerCounts {
+		spec := smallSpec()
+		spec.Workers = w
+		res, err := RunStreaming(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		scores, err := res.ScoreAll(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		outcomes = append(outcomes, outcome{w, res.Sketch.Cells(), res.Ingested, scores})
+	}
+
+	ref := outcomes[0]
+	for _, o := range outcomes[1:] {
+		if o.cells != ref.cells {
+			t.Errorf("sketch cells: %d with 1 worker, %d with %d workers", ref.cells, o.cells, o.workers)
+		}
+		for name, n := range ref.ingested {
+			if o.ingested[name] != n {
+				t.Errorf("dataset %s: %d ingested with 1 worker, %d with %d workers",
+					name, n, o.ingested[name], o.workers)
+			}
+		}
+		if len(o.scores) != len(ref.scores) {
+			t.Errorf("scored %d regions with %d workers, %d with 1", len(o.scores), o.workers, len(ref.scores))
+		}
+		for region, rs := range ref.scores {
+			os := o.scores[region]
+			if os.IQB != rs.IQB || os.Grade != rs.Grade || os.Coverage != rs.Coverage {
+				t.Errorf("region %s: workers=1 (IQB %v, %s, cov %v) vs workers=%d (IQB %v, %s, cov %v)",
+					region, rs.IQB, rs.Grade, rs.Coverage, o.workers, os.IQB, os.Grade, os.Coverage)
+			}
+		}
+	}
+}
+
 // TestScoreAllDeterministicAcrossWorkerCounts is the determinism
 // regression pin: for a fixed Spec.Seed, pipeline.Run followed by
 // ScoreAll must produce bit-identical scores for every worker count.

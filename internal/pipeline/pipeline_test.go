@@ -260,8 +260,8 @@ func TestRunStreamingEndToEnd(t *testing.T) {
 
 // TestStreamingMatchesExact is the E11 equivalence check in miniature:
 // the sketch-based path and the exact path run the identical workload,
-// so their scores must agree (binary thresholds absorb the t-digest's
-// small quantile error).
+// so their scores must agree (binary thresholds absorb the sketch
+// cells' small quantile error).
 func TestStreamingMatchesExact(t *testing.T) {
 	spec := smallSpec()
 	exact, err := Run(context.Background(), spec)

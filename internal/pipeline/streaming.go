@@ -19,8 +19,8 @@ import (
 )
 
 // StreamingResult is the memory-bounded counterpart of Result: raw
-// records are folded into t-digest sketches at ingestion time and never
-// retained.
+// records are folded into DDSketch-backed cells at ingestion time and
+// never retained.
 type StreamingResult struct {
 	World  *World
 	Sketch *dataset.Sketcher
@@ -36,6 +36,15 @@ type StreamingResult struct {
 // subscriber draws, and simulated tests are identical to Run for the
 // same spec, so sketch-vs-exact comparisons (experiment E11) isolate the
 // aggregation data structure.
+//
+// Ingestion is shared-nothing, mirroring Run: each worker folds records
+// into its own Sketcher and queues raw Ookla samples on its own
+// collector, and both are merged only after the workers join. Because
+// sketcher cells are pure functions of the value multiset (exact cells
+// sort, promoted cells are order-independent DDSketches) and Ookla
+// aggregation orders samples by job ID, ScoreAll output is bit-identical
+// for any Workers value — the same fixed-seed determinism contract Run
+// carries.
 func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
 	world, err := BuildWorld(spec)
 	if err != nil {
@@ -44,7 +53,6 @@ func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
 	started := time.Now()
 
 	jobs := buildJobs(world, spec)
-	sketch := dataset.NewSketcher(300)
 
 	workers := spec.Workers
 	if workers <= 0 {
@@ -60,14 +68,16 @@ func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
 		errOnce.Do(func() { firstErr = err })
 	}
 
-	// Shared-nothing collectors, merged after the join.
+	// Shared-nothing collectors and sketchers, merged after the join.
 	pubs := make([]*ookla.Publisher, workers)
+	sketches := make([]*dataset.Sketcher, workers)
 	ingestedBy := make([]map[string]int, workers)
 	for w := 0; w < workers; w++ {
 		pubs[w] = ookla.NewPublisher()
+		sketches[w] = dataset.NewSketcher(0)
 		ingestedBy[w] = map[string]int{}
 		wg.Add(1)
-		go func(pub *ookla.Publisher, counts map[string]int) {
+		go func(pub *ookla.Publisher, sk *dataset.Sketcher, counts map[string]int) {
 			defer wg.Done()
 			for j := range jobCh {
 				if failed.Load() {
@@ -84,13 +94,13 @@ func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
 					}
 					continue
 				}
-				if err := sketch.Ingest(rec); err != nil {
+				if err := sk.Ingest(rec); err != nil {
 					fail(err)
 					continue
 				}
 				counts[rec.Dataset]++
 			}
-		}(pubs[w], ingestedBy[w])
+		}(pubs[w], sketches[w], ingestedBy[w])
 	}
 
 feed:
@@ -109,9 +119,13 @@ feed:
 	}
 
 	publisher := ookla.NewPublisher()
+	sketch := dataset.NewSketcher(0)
 	ingested := map[string]int{}
 	for w := 0; w < workers; w++ {
 		publisher.Merge(pubs[w])
+		if err := sketch.Merge(sketches[w]); err != nil {
+			return nil, fmt.Errorf("pipeline: merging worker sketcher: %w", err)
+		}
 		for ds, n := range ingestedBy[w] {
 			ingested[ds] += n
 		}
