@@ -1,12 +1,24 @@
-// Command iqbserver simulates a world (or loads dataset files) and
-// serves IQB scores over the JSON HTTP API.
+// Command iqbserver simulates a world (or recovers one from a data
+// directory) and serves IQB scores over the JSON HTTP API.
 //
 // Usage:
 //
 //	iqbserver [-addr 127.0.0.1:8600] [-seed 42] [-tests 120]
+//	          [-data-dir DIR] [-snapshot-interval 5m] [-wal-segment-bytes N]
 //
 // Endpoints: /v1/health /v1/config /v1/regions /v1/score?region=R
-// /v1/ranking /v1/datasets
+// /v1/ranking /v1/datasets, plus POST /v1/snapshot with -data-dir.
+//
+// Memory-only (no -data-dir) boots re-simulate the world every start.
+// With -data-dir, the first boot runs the pipeline into a WAL-backed
+// store — every batch is fsynced to a segmented write-ahead log before
+// it becomes queryable — and then cuts an initial snapshot. Later boots
+// recover the store from snapshot + WAL without re-running the
+// pipeline, tolerating the torn WAL tail a crash mid-append leaves
+// behind; only the synthetic geography is rebuilt, from the seed
+// recorded in the data dir (which overrides -seed). A background
+// snapshotter cuts a fresh snapshot every -snapshot-interval (0
+// disables it) and compacts WAL segments the snapshot covers.
 package main
 
 import (
@@ -18,11 +30,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"iqb/internal/dataset"
+	"iqb/internal/geo"
 	"iqb/internal/httpapi"
 	"iqb/internal/iqb"
+	"iqb/internal/persist"
 	"iqb/internal/pipeline"
 )
 
@@ -33,11 +49,140 @@ func main() {
 	}
 }
 
+// bootOptions configures openWorld.
+type bootOptions struct {
+	dataDir      string
+	segmentBytes int64
+}
+
+// world is everything a boot produces: the queryable store, the
+// geography to score it against, and (with a data dir) the persistence
+// manager behind the store.
+type world struct {
+	store *dataset.Store
+	db    *geo.DB
+	mgr   *persist.Manager // nil when memory-only
+	// recovered is true when the store was restored from disk rather
+	// than produced by running the pipeline.
+	recovered bool
+}
+
+// openWorld builds the serving state. Memory-only: run the pipeline.
+// With a data dir: recover the store from snapshot + WAL when the dir
+// holds data (rebuilding only the geography, never re-running the
+// pipeline), or run the pipeline through the WAL on first boot and cut
+// the initial snapshot.
+func openWorld(logger *slog.Logger, spec pipeline.Spec, opts bootOptions) (*world, error) {
+	if opts.dataDir == "" {
+		logger.Info("simulating world (memory-only)", "seed", spec.Seed, "tests_per_county", spec.TestsPerCounty)
+		res, err := pipeline.Run(context.Background(), spec)
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("world ready", "records", res.Store.Len(), "elapsed", res.Elapsed)
+		return &world{store: res.Store, db: res.World.DB}, nil
+	}
+
+	mgr, err := persist.Open(opts.dataDir, persist.Options{SegmentBytes: opts.segmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	rec := mgr.Recovery()
+	if rec.HasData() {
+		meta, err := mgr.Meta()
+		if err != nil {
+			mgr.Close()
+			return nil, err
+		}
+		if s, ok := meta["seed"]; ok {
+			seed, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				mgr.Close()
+				return nil, fmt.Errorf("data dir meta has malformed seed %q: %w", s, err)
+			}
+			if seed != spec.Seed {
+				logger.Warn("data dir was built with a different seed; using the recorded one",
+					"flag_seed", spec.Seed, "recorded_seed", seed)
+			}
+			spec.Seed = seed
+		}
+		// The records are already durable; only the synthetic
+		// geography (regions, ISP catalog) must be rebuilt, and that
+		// is a pure function of the seed — no measurement replay.
+		w, err := pipeline.BuildWorld(spec)
+		if err != nil {
+			mgr.Close()
+			return nil, fmt.Errorf("rebuilding geography: %w", err)
+		}
+		logger.Info("world recovered from data dir",
+			"dir", opts.dataDir,
+			"records", mgr.Store().Len(),
+			"from_snapshot", rec.FromSnapshot,
+			"snapshot_records", rec.SnapshotRecords,
+			"wal_batches", rec.WALBatches,
+			"wal_records", rec.WALRecords,
+			"torn_tail", rec.TornTail,
+			"elapsed", rec.Elapsed)
+		return &world{store: mgr.Store(), db: w.DB, mgr: mgr, recovered: true}, nil
+	}
+
+	// First boot of this data dir: simulate through the WAL, so the
+	// store is durable from the very first batch, then snapshot. The
+	// seed is recorded before the run — a crash mid-simulation leaves
+	// WAL records that only that seed's geography can interpret, and a
+	// restart must not rebuild the world from a different -seed flag.
+	logger.Info("simulating world into data dir", "dir", opts.dataDir, "seed", spec.Seed, "tests_per_county", spec.TestsPerCounty)
+	if err := mgr.SetMeta(map[string]string{
+		"seed":             strconv.FormatUint(spec.Seed, 10),
+		"tests_per_county": strconv.Itoa(spec.TestsPerCounty),
+	}); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	spec.Store = mgr.Store()
+	res, err := pipeline.Run(context.Background(), spec)
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	info, err := mgr.Snapshot()
+	if err != nil {
+		mgr.Close()
+		return nil, fmt.Errorf("initial snapshot: %w", err)
+	}
+	logger.Info("world ready and durable", "records", res.Store.Len(), "elapsed", res.Elapsed,
+		"snapshot", info.Path, "snapshot_bytes", info.Bytes)
+	return &world{store: res.Store, db: res.World.DB, mgr: mgr}, nil
+}
+
+// snapshotLoop cuts periodic snapshots until ctx is done.
+func snapshotLoop(ctx context.Context, logger *slog.Logger, mgr *persist.Manager, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			info, err := mgr.Snapshot()
+			if err != nil {
+				logger.Error("background snapshot failed", "err", err)
+				continue
+			}
+			logger.Info("background snapshot", "path", info.Path, "records", info.Records,
+				"wal_offset", info.WALOffset, "bytes", info.Bytes)
+		}
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("iqbserver", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8600", "listen address")
 	seed := fs.Uint64("seed", 42, "random seed for the simulated world")
 	tests := fs.Int("tests", 120, "tests per county per dataset")
+	dataDir := fs.String("data-dir", "", "durable store directory; empty serves memory-only")
+	snapEvery := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (0 disables)")
+	segBytes := fs.Int64("wal-segment-bytes", persist.DefaultSegmentBytes, "WAL segment rotation threshold")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,16 +191,23 @@ func run(args []string) error {
 	spec := pipeline.DefaultSpec()
 	spec.Seed = *seed
 	spec.TestsPerCounty = *tests
-	logger.Info("simulating world", "seed", *seed, "tests_per_county", *tests)
-	res, err := pipeline.Run(context.Background(), spec)
+	w, err := openWorld(logger, spec, bootOptions{dataDir: *dataDir, segmentBytes: *segBytes})
 	if err != nil {
 		return err
 	}
-	logger.Info("world ready", "records", res.Store.Len(), "elapsed", res.Elapsed)
 
-	api, err := httpapi.New(iqb.DefaultConfig(), res.Store, res.World.DB, logger)
+	api, err := httpapi.New(iqb.DefaultConfig(), w.store, w.db, logger)
 	if err != nil {
 		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if w.mgr != nil {
+		api.SetPersistence(w.mgr)
+		defer w.mgr.Close()
+		if *snapEvery > 0 {
+			go snapshotLoop(ctx, logger, w.mgr, *snapEvery)
+		}
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -63,11 +215,9 @@ func run(args []string) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr)
+		logger.Info("listening", "addr", *addr, "durable", w.mgr != nil)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/iqb"
+	"iqb/internal/pipeline"
+)
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func testSpec() pipeline.Spec {
+	spec := pipeline.DefaultSpec()
+	spec.Geo.States = 2
+	spec.Geo.CountiesPer = 2
+	spec.TestsPerCounty = 10
+	spec.Days = 2
+	spec.OoklaMinGroup = 2
+	return spec
+}
+
+// scoreFingerprint serializes every region's full score plus the county
+// ranking, so two worlds compare bit-for-bit.
+func scoreFingerprint(t *testing.T, w *world) string {
+	t.Helper()
+	cfg := iqb.DefaultConfig()
+	scores := map[string]iqb.Score{}
+	for _, code := range w.db.AllRegions() {
+		s, err := cfg.ScoreRegion(w.store, code, time.Time{}, time.Time{})
+		if err != nil {
+			t.Fatalf("scoring %s: %v", code, err)
+		}
+		scores[code] = s
+	}
+	type ranked struct {
+		Code string
+		IQB  float64
+	}
+	var ranking []ranked
+	for code, s := range scores {
+		ranking = append(ranking, ranked{code, s.IQB})
+	}
+	sort.Slice(ranking, func(i, j int) bool {
+		if ranking[i].IQB != ranking[j].IQB {
+			return ranking[i].IQB > ranking[j].IQB
+		}
+		return ranking[i].Code < ranking[j].Code
+	})
+	blob, err := json.Marshal(struct {
+		Scores  map[string]iqb.Score
+		Ranking []ranked
+	}{scores, ranking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestKillAndRestartRecoversBitIdentical is the PR's acceptance test:
+// a server started with -data-dir, killed (without clean shutdown, with
+// a torn frame on the WAL tail), and restarted must serve bit-identical
+// ScoreAll/ranking output — recovered from snapshot + WAL, not by
+// re-running the pipeline.
+func TestKillAndRestartRecoversBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	opts := bootOptions{dataDir: dir}
+	spec := testSpec()
+
+	// First boot: simulates the world through the WAL and cuts the
+	// initial snapshot.
+	w1, err := openWorld(testLogger(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.recovered || w1.mgr == nil {
+		t.Fatalf("first boot: recovered=%v mgr=%v, want fresh durable boot", w1.recovered, w1.mgr)
+	}
+	// Live ingestion after the snapshot: these records exist only in
+	// the WAL, so recovery must stitch snapshot + WAL together.
+	extra := make([]dataset.Record, 8)
+	for i := range extra {
+		r := dataset.NewRecord("live-"+string(rune('a'+i)), "ndt", "XA-01-001",
+			time.Date(2025, 6, 3, 12, 0, 0, 0, time.UTC))
+		r.DownloadMbps = float64(50 + i)
+		r.UploadMbps = float64(10 + i)
+		r.LatencyMS = 20
+		r.LossFrac = 0.001
+		extra[i] = r
+	}
+	if err := w1.store.AddBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	want := scoreFingerprint(t, w1)
+	wantLen := w1.store.Len()
+
+	// Kill: no clean shutdown; a crash mid-append leaves a truncated
+	// frame on the WAL tail.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments (err=%v)", err)
+	}
+	active, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := active.Write([]byte{0x13, 0x37, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	active.Close()
+
+	// Restart with a different -seed flag: the recorded seed must win,
+	// or the rebuilt geography would not match the stored records.
+	spec2 := testSpec()
+	spec2.Seed = spec.Seed + 999
+	w2, err := openWorld(testLogger(), spec2, opts)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer w2.mgr.Close()
+	if !w2.recovered {
+		t.Fatal("restart did not recover from disk")
+	}
+	rec := w2.mgr.Recovery()
+	if !rec.FromSnapshot {
+		t.Fatalf("recovery skipped the snapshot: %+v", rec)
+	}
+	if !rec.TornTail {
+		t.Fatalf("torn WAL tail not detected: %+v", rec)
+	}
+	if rec.WALRecords != len(extra) {
+		t.Fatalf("recovery replayed %d WAL records, want %d", rec.WALRecords, len(extra))
+	}
+	if got := w2.store.Len(); got != wantLen {
+		t.Fatalf("recovered store holds %d records, want %d", got, wantLen)
+	}
+	if got := scoreFingerprint(t, w2); got != want {
+		t.Fatal("recovered world scores differ from pre-kill world")
+	}
+
+	// The recovered server keeps ingesting durably: one more record,
+	// one more restart, still bit-identical.
+	again := dataset.NewRecord("live-final", "ndt", "XA-01-001",
+		time.Date(2025, 6, 3, 13, 0, 0, 0, time.UTC))
+	again.DownloadMbps = 77
+	if err := w2.store.Add(again); err != nil {
+		t.Fatal(err)
+	}
+	want2 := scoreFingerprint(t, w2)
+	if err := w2.mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := openWorld(testLogger(), testSpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.mgr.Close()
+	if !w3.recovered {
+		t.Fatal("third boot did not recover from disk")
+	}
+	if got := scoreFingerprint(t, w3); got != want2 {
+		t.Fatal("third boot scores differ")
+	}
+}
+
+// TestMemoryOnlyBootUnchanged guards the default path: no -data-dir
+// means no persistence manager and a pipeline-built world.
+func TestMemoryOnlyBootUnchanged(t *testing.T) {
+	w, err := openWorld(testLogger(), testSpec(), bootOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.mgr != nil || w.recovered {
+		t.Fatalf("memory-only boot produced mgr=%v recovered=%v", w.mgr, w.recovered)
+	}
+	if w.store.Len() == 0 {
+		t.Fatal("empty store")
+	}
+}

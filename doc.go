@@ -5,4 +5,11 @@
 // (bench_test.go) that regenerates every table and figure plus
 // micro-benchmarks for the sharded dataset store's write and
 // streaming-aggregation paths.
+//
+// Durability: internal/persist backs the store with a segmented,
+// CRC-framed write-ahead log and atomic snapshots, so cmd/iqbserver
+// started with -data-dir recovers its store from disk (tolerating a
+// torn WAL tail after a crash) instead of re-running the measurement
+// pipeline; internal/persist's benchmarks quantify the WAL ingest tax
+// and the recovery-vs-replay win.
 package repro

@@ -77,31 +77,38 @@ func WriteNDJSON(w io.Writer, rs []Record) error {
 
 // ReadNDJSON parses newline-delimited JSON records from r, validating
 // each. It reports the line number of the first malformed record.
+// Lines may be arbitrarily long: the reader accumulates each line in
+// full rather than capping tokens the way bufio.Scanner does, because
+// the WAL reader funnels crash-recovery payloads through this path and
+// must never reject a record the writer accepted.
 func ReadNDJSON(r io.Reader) ([]Record, error) {
 	var out []Record
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	br := bufio.NewReaderSize(r, 64<<10)
+	for line := 1; ; line++ {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("dataset: reading NDJSON: %w", err)
 		}
-		var w jsonRecord
-		if err := json.Unmarshal(raw, &w); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		// Trim the delimiter (and a CR from CRLF input, matching the
+		// old Scanner behavior); blank lines are skipped.
+		for len(raw) > 0 && (raw[len(raw)-1] == '\n' || raw[len(raw)-1] == '\r') {
+			raw = raw[:len(raw)-1]
 		}
-		rec := fromWire(w)
-		if err := rec.Validate(); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		if len(raw) > 0 {
+			var w jsonRecord
+			if uerr := json.Unmarshal(raw, &w); uerr != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", line, uerr)
+			}
+			rec := fromWire(w)
+			if verr := rec.Validate(); verr != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", line, verr)
+			}
+			out = append(out, rec)
 		}
-		out = append(out, rec)
+		if err == io.EOF {
+			return out, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: reading NDJSON: %w", err)
-	}
-	return out, nil
 }
 
 // csvHeader is the fixed CSV column order.

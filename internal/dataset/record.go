@@ -167,7 +167,10 @@ func (r Record) Has(m Metric) bool {
 }
 
 // Validate checks the record is structurally sound: identified, located,
-// and with in-range metric values where present.
+// and with finite, in-range metric values where present. Infinities are
+// rejected here because JSON cannot carry them: a record that validated
+// but held +Inf would make WriteNDJSON fail mid-stream. (NaN is the
+// internal "missing" sentinel, so it is never observable as a value.)
 func (r Record) Validate() error {
 	if r.ID == "" {
 		return fmt.Errorf("dataset: record missing ID")
@@ -180,6 +183,11 @@ func (r Record) Validate() error {
 	}
 	if r.Time.IsZero() {
 		return fmt.Errorf("dataset: record %s missing time", r.ID)
+	}
+	for _, m := range AllMetrics() {
+		if v, ok := r.Value(m); ok && math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: record %s non-finite %s %v", r.ID, m, v)
+		}
 	}
 	if v, ok := r.Value(Download); ok && v < 0 {
 		return fmt.Errorf("dataset: record %s negative download %v", r.ID, v)

@@ -1,15 +1,22 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"iqb/internal/stats"
 )
+
+// ErrDuplicate marks (dataset, ID) uniqueness violations. Callers that
+// replay a write-ahead log match it with errors.Is to recognize a batch
+// that was already applied.
+var ErrDuplicate = errors.New("duplicate record")
 
 // Default store geometry. 32 shards keeps writer contention negligible
 // up to several dozen cores while the fan-out cost of merge-on-read
@@ -77,7 +84,24 @@ type Store struct {
 	seq     atomic.Uint64
 	cutover int
 	alpha   float64
+
+	// ingestMu fences writers against Quiesce: every mutation holds it
+	// shared for the full validate→hook→insert sequence, so an exclusive
+	// holder observes the store with no ingestion in flight — in
+	// particular, never between a hook's durable tee and the matching
+	// shard mutation.
+	ingestMu sync.RWMutex
+	hook     IngestHook
 }
+
+// IngestHook observes every batch that is about to enter the store —
+// validated and dedup-cleared, before any shard is mutated. A non-nil
+// error vetoes the batch: the store is left unchanged (including its
+// dedup set) and the error is returned to the writer. The persistence
+// layer uses this to tee batches durably (WAL append + fsync) ahead of
+// the in-memory mutation, so an acknowledged write is always
+// recoverable. Hooks must not call back into the store.
+type IngestHook func(rs []Record) error
 
 // NewStore returns an empty store with default options.
 func NewStore() *Store { return NewStoreWith(Options{}) }
@@ -110,6 +134,38 @@ func NewStoreWith(o Options) *Store {
 // NumShards reports the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
+// SetIngestHook installs (or, with nil, removes) the ingest hook. It
+// waits for in-flight writes to drain, so after it returns every
+// subsequent successful Add/AddBatch has passed through h. Recovery
+// installs the hook only after replaying, so replayed batches are not
+// re-teed to the log they came from.
+func (s *Store) SetIngestHook(h IngestHook) {
+	s.ingestMu.Lock()
+	s.hook = h
+	s.ingestMu.Unlock()
+}
+
+// Quiesce runs fn while no ingestion is in flight: writers that have
+// cleared the ingest hook have also finished mutating shards, and new
+// writers block until fn returns. The persistence layer snapshots under
+// Quiesce so the captured record set and the captured WAL offset name
+// the same point in time. fn must not write to the store.
+func (s *Store) Quiesce(fn func()) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	fn()
+}
+
+// unclaim releases (dataset, ID) reservations after a vetoed ingest.
+func (s *Store) unclaim(keys []string) {
+	for _, k := range keys {
+		st := s.stripeFor(k)
+		st.mu.Lock()
+		delete(st.ids, k)
+		st.mu.Unlock()
+	}
+}
+
 func (s *Store) shardFor(ds, region string) *shard {
 	return s.shards[fnv64a(ds, region)%uint64(len(s.shards))]
 }
@@ -121,6 +177,8 @@ func (s *Store) stripeFor(key string) *idStripe {
 // Add validates and inserts a record. Duplicate (dataset, ID) pairs are
 // rejected.
 func (s *Store) Add(r Record) error {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
 	if err := r.Validate(); err != nil {
 		return err
 	}
@@ -129,10 +187,17 @@ func (s *Store) Add(r Record) error {
 	st.mu.Lock()
 	if _, dup := st.ids[key]; dup {
 		st.mu.Unlock()
-		return fmt.Errorf("dataset: duplicate record %s", key)
+		return fmt.Errorf("dataset: %w %s", ErrDuplicate, key)
 	}
 	st.ids[key] = struct{}{}
 	st.mu.Unlock()
+
+	if s.hook != nil {
+		if err := s.hook([]Record{r}); err != nil {
+			s.unclaim([]string{key})
+			return fmt.Errorf("dataset: ingest hook: %w", err)
+		}
+	}
 
 	sh := s.shardFor(r.Dataset, r.Region)
 	sh.mu.Lock()
@@ -144,13 +209,17 @@ func (s *Store) Add(r Record) error {
 // AddBatch validates and inserts a batch atomically with respect to
 // errors: the whole batch is validated and checked for duplicates
 // (against the store and within itself) before any record is stored, so
-// a mid-batch failure leaves the store unchanged. Records land with
+// a mid-batch failure leaves the store unchanged. If an ingest hook is
+// installed it runs after the checks and before any shard mutation; a
+// hook error likewise leaves the store unchanged. Records land with
 // consecutive insertion sequence numbers, and each destination shard is
 // locked once for the whole batch rather than per record.
 func (s *Store) AddBatch(rs []Record) error {
 	if len(rs) == 0 {
 		return nil
 	}
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
 	keys := make([]string, len(rs))
 	seen := make(map[string]int, len(rs))
 	for i, r := range rs {
@@ -159,7 +228,7 @@ func (s *Store) AddBatch(rs []Record) error {
 		}
 		k := r.Dataset + "/" + r.ID
 		if first, dup := seen[k]; dup {
-			return fmt.Errorf("dataset: record %d of %d: duplicate record %s within batch (first at record %d)", i+1, len(rs), k, first+1)
+			return fmt.Errorf("dataset: record %d of %d: %w %s within batch (first at record %d)", i+1, len(rs), ErrDuplicate, k, first+1)
 		}
 		seen[k] = i
 		keys[i] = k
@@ -193,13 +262,23 @@ func (s *Store) AddBatch(rs []Record) error {
 	for i, k := range keys {
 		if _, dup := s.stripes[fnv64a(k)%idStripeCount].ids[k]; dup {
 			unlock()
-			return fmt.Errorf("dataset: record %d of %d: duplicate record %s", i+1, len(rs), k)
+			return fmt.Errorf("dataset: record %d of %d: %w %s", i+1, len(rs), ErrDuplicate, k)
 		}
 	}
 	for _, k := range keys {
 		s.stripes[fnv64a(k)%idStripeCount].ids[k] = struct{}{}
 	}
 	unlock()
+
+	// The batch is now validated and its IDs claimed, so the hook sees
+	// exactly what the shards are about to absorb; a hook veto releases
+	// the claims and leaves the store untouched.
+	if s.hook != nil {
+		if err := s.hook(rs); err != nil {
+			s.unclaim(keys)
+			return fmt.Errorf("dataset: ingest hook: %w", err)
+		}
+	}
 
 	// Sequence numbers are claimed as one contiguous block so the batch
 	// keeps its internal order under Select regardless of which shard

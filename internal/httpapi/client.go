@@ -24,10 +24,10 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// get fetches path and decodes the JSON body into out, translating the
-// API's error envelope.
-func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+// do sends a bodyless request and decodes the JSON response into out,
+// translating the API's error envelope.
+func (c *Client) do(ctx context.Context, method, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
 	if err != nil {
 		return fmt.Errorf("httpapi: building request: %w", err)
 	}
@@ -51,6 +51,17 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 		return fmt.Errorf("httpapi: decoding %s: %w", path, err)
 	}
 	return nil
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, out)
+}
+
+// Snapshot asks a persistence-backed server to cut a durable snapshot.
+func (c *Client) Snapshot(ctx context.Context) (SnapshotResponse, error) {
+	var out SnapshotResponse
+	err := c.do(ctx, http.MethodPost, "/v1/snapshot", &out)
+	return out, err
 }
 
 // Health checks liveness.

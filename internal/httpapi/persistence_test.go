@@ -1,0 +1,91 @@
+package httpapi
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"iqb/internal/dataset"
+	"iqb/internal/iqb"
+	"iqb/internal/persist"
+)
+
+// TestSnapshotEndpointAndHealthStatus exercises the durable-store
+// control surface: POST /v1/snapshot cuts a snapshot whose offset then
+// shows up in /v1/health, and both degrade cleanly on a memory-only
+// server.
+func TestSnapshotEndpointAndHealthStatus(t *testing.T) {
+	memStore, db := buildWorld(t)
+	m, err := persist.Open(t.TempDir(), persist.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	// Mirror the in-memory world into the WAL-backed store.
+	if err := m.Store().AddBatch(memStore.Select(dataset.Filter{})); err != nil {
+		t.Fatal(err)
+	}
+
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv, err := New(iqb.DefaultConfig(), m.Store(), db, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetPersistence(m)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	health, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Persistence == nil {
+		t.Fatal("health omits persistence on a persistence-backed server")
+	}
+	if health.Persistence.SnapshotOffset != 0 {
+		t.Fatalf("snapshot offset before any snapshot = %d", health.Persistence.SnapshotOffset)
+	}
+	if got, want := health.Persistence.WALRecords, uint64(m.Store().Len()); got != want {
+		t.Fatalf("health WAL records = %d, want %d", got, want)
+	}
+
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Snapshot.Records != m.Store().Len() {
+		t.Fatalf("snapshot covered %d records, store holds %d", snap.Snapshot.Records, m.Store().Len())
+	}
+	if _, err := os.Stat(snap.Snapshot.Path); err != nil {
+		t.Fatalf("snapshot body missing: %v", err)
+	}
+	health, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := health.Persistence.SnapshotOffset; got != snap.Snapshot.WALOffset {
+		t.Fatalf("health snapshot offset = %d, endpoint reported %d", got, snap.Snapshot.WALOffset)
+	}
+}
+
+func TestSnapshotEndpointMemoryOnly(t *testing.T) {
+	ts := newAPIServer(t)
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.Snapshot(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "persistence not enabled") {
+		t.Fatalf("memory-only snapshot err = %v, want 'persistence not enabled'", err)
+	}
+	health, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Persistence != nil {
+		t.Fatalf("memory-only health reports persistence: %+v", health.Persistence)
+	}
+}

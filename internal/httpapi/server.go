@@ -2,14 +2,16 @@
 // client. It serves a scored world: a record store, a geography, and a
 // framework configuration.
 //
-// Endpoints (all GET, all JSON):
+// Endpoints (JSON):
 //
-//	/v1/health            liveness
-//	/v1/config            the active framework configuration
-//	/v1/regions           region codes with level/character/population
-//	/v1/score?region=R    full score breakdown for a region subtree
-//	/v1/ranking           counties ranked best-first
-//	/v1/datasets          dataset names with record counts
+//	GET  /v1/health            liveness, store size, persistence status
+//	GET  /v1/config            the active framework configuration
+//	GET  /v1/regions           region codes with level/character/population
+//	GET  /v1/score?region=R    full score breakdown for a region subtree
+//	GET  /v1/ranking           counties ranked best-first
+//	GET  /v1/datasets          dataset names with record counts
+//	POST /v1/snapshot          cut a durable snapshot (503 when the
+//	                           server runs memory-only)
 package httpapi
 
 import (
@@ -24,15 +26,27 @@ import (
 	"iqb/internal/dataset"
 	"iqb/internal/geo"
 	"iqb/internal/iqb"
+	"iqb/internal/persist"
 )
+
+// Persistence is the durable-store control surface the server exposes
+// when it is backed by a data directory. *persist.Manager implements it.
+type Persistence interface {
+	// Snapshot cuts an atomic point-in-time snapshot and compacts the
+	// WAL segments it covers.
+	Snapshot() (persist.SnapshotInfo, error)
+	// Status reports the durable store's current shape.
+	Status() persist.Status
+}
 
 // Server bundles the scored world behind an http.Handler.
 type Server struct {
-	cfg   iqb.Config
-	store *dataset.Store
-	db    *geo.DB
-	log   *slog.Logger
-	mux   *http.ServeMux
+	cfg     iqb.Config
+	store   *dataset.Store
+	db      *geo.DB
+	log     *slog.Logger
+	mux     *http.ServeMux
+	persist Persistence
 }
 
 // New builds a server. The logger may be nil.
@@ -53,9 +67,15 @@ func New(cfg iqb.Config, store *dataset.Store, db *geo.DB, logger *slog.Logger) 
 	s.mux.HandleFunc("GET /v1/score", s.handleScore)
 	s.mux.HandleFunc("GET /v1/ranking", s.handleRanking)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.registerTimeSeries()
 	return s, nil
 }
+
+// SetPersistence attaches the durable-store control surface (nil
+// detaches it). Call before serving; the snapshot endpoint and the
+// health persistence block answer 503/absent until one is attached.
+func (s *Server) SetPersistence(p Persistence) { s.persist = p }
 
 // ServeHTTP implements http.Handler with logging and panic recovery.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -89,14 +109,42 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// HealthResponse reports liveness and store size.
+// HealthResponse reports liveness, store size, and — when the server is
+// backed by a data directory — the durable store's shape.
 type HealthResponse struct {
 	Status  string `json:"status"`
 	Records int    `json:"records"`
+	// Persistence is nil for a memory-only server.
+	Persistence *persist.Status `json:"persistence,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, HealthResponse{Status: "ok", Records: s.store.Len()})
+	resp := HealthResponse{Status: "ok", Records: s.store.Len()}
+	if s.persist != nil {
+		st := s.persist.Status()
+		resp.Persistence = &st
+	}
+	writeJSON(w, resp)
+}
+
+// SnapshotResponse wraps the snapshot a POST /v1/snapshot produced.
+type SnapshotResponse struct {
+	Snapshot persist.SnapshotInfo `json:"snapshot"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.persist == nil {
+		writeError(w, http.StatusServiceUnavailable, "persistence not enabled (start the server with -data-dir)")
+		return
+	}
+	info, err := s.persist.Snapshot()
+	if err != nil {
+		s.log.Error("snapshot", "err", err)
+		writeError(w, http.StatusInternalServerError, "snapshot failed")
+		return
+	}
+	s.log.Info("snapshot", "path", info.Path, "records", info.Records, "wal_offset", info.WALOffset)
+	writeJSON(w, SnapshotResponse{Snapshot: info})
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {

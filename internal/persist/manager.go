@@ -1,0 +1,240 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"iqb/internal/dataset"
+)
+
+const (
+	walSubdir = "wal"
+	metaName  = "META.json"
+)
+
+// Recovery summarizes what Open reconstructed from disk.
+type Recovery struct {
+	// FromSnapshot is true when a manifest + snapshot were loaded.
+	FromSnapshot bool `json:"from_snapshot"`
+	// SnapshotRecords is how many records the snapshot contributed.
+	SnapshotRecords int `json:"snapshot_records"`
+	// WALBatches and WALRecords count what replay contributed on top.
+	WALBatches int `json:"wal_batches"`
+	WALRecords int `json:"wal_records"`
+	// WALDuplicateBatches counts replayed batches skipped because the
+	// store already held them — the footprint of a writer retrying a
+	// batch whose append was durable but reported an error (rotation
+	// or fsync failure after the frame hit disk).
+	WALDuplicateBatches int `json:"wal_duplicate_batches,omitempty"`
+	// TornTail is true when the WAL ended in a truncated or
+	// checksum-broken frame that was cut away — a crash mid-append.
+	TornTail bool `json:"torn_tail"`
+	// Elapsed is how long recovery took.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// HasData reports whether the directory held any durable state.
+func (r Recovery) HasData() bool {
+	return r.FromSnapshot || r.WALRecords > 0
+}
+
+// Status is a point-in-time view of the durable store, shaped for the
+// /v1/health endpoint.
+type Status struct {
+	Dir             string    `json:"dir"`
+	WALRecords      uint64    `json:"wal_records"`
+	WALSegments     int       `json:"wal_segments"`
+	WALBytes        int64     `json:"wal_bytes"`
+	SnapshotOffset  uint64    `json:"snapshot_offset"`
+	SnapshotRecords int       `json:"snapshot_records"`
+	SnapshotAt      time.Time `json:"snapshot_at"`
+	Recovery        Recovery  `json:"recovery"`
+}
+
+// Manager owns one data directory: it recovers a dataset store from
+// snapshot + WAL on Open, tees every subsequent batch to the WAL via
+// the store's ingest hook, and cuts snapshots (compacting covered WAL
+// segments) on demand. Safe for concurrent use.
+type Manager struct {
+	dir   string
+	log   *Log
+	store *dataset.Store
+
+	// snapMu serializes snapshots; mu guards only the status fields,
+	// so Status never waits behind a snapshot's file I/O.
+	snapMu      sync.Mutex
+	mu          sync.Mutex
+	snapOffset  uint64
+	snapRecords int
+	snapAt      time.Time
+	recovery    Recovery
+}
+
+// Open recovers (or initializes) the durable store in dir and returns a
+// manager whose store is wired to tee every ingested batch to the WAL.
+// Recovery order: snapshot first, then WAL frames past the manifest's
+// covered offset — so it restores exactly the acknowledged writes, in
+// acknowledgment order, without re-running any pipeline.
+func Open(dir string, o Options) (*Manager, error) {
+	started := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	rs, man, hasSnap, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	log, err := OpenLog(filepath.Join(dir, walSubdir), o)
+	if err != nil {
+		return nil, err
+	}
+	if hasSnap && log.Offset() < man.WALOffset {
+		log.Close()
+		return nil, fmt.Errorf("persist: WAL ends at record %d but the snapshot covers %d (missing WAL segments)",
+			log.Offset(), man.WALOffset)
+	}
+
+	store := dataset.NewStoreWith(o.Store)
+	m := &Manager{dir: dir, log: log, store: store}
+	if hasSnap {
+		if err := store.AddBatch(rs); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("persist: loading snapshot into store: %w", err)
+		}
+		m.snapOffset = man.WALOffset
+		m.snapRecords = man.Records
+		m.snapAt = man.SavedAt
+	}
+	rec := Recovery{FromSnapshot: hasSnap, SnapshotRecords: len(rs), TornTail: log.TornTail()}
+	err = log.Replay(man.WALOffset, func(batch []dataset.Record) error {
+		if err := store.AddBatch(batch); err != nil {
+			// Append acks durability the instant the frame lands; an
+			// error after that (rotation, fsync) makes the writer
+			// retry an already-logged batch, so replay must be
+			// idempotent over exact duplicates.
+			if errors.Is(err, dataset.ErrDuplicate) {
+				rec.WALDuplicateBatches++
+				return nil
+			}
+			return err
+		}
+		rec.WALBatches++
+		rec.WALRecords += len(batch)
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("persist: replaying WAL: %w", err)
+	}
+	// Only now install the tee: replayed batches must not be re-logged.
+	store.SetIngestHook(log.Append)
+	rec.Elapsed = time.Since(started)
+	m.recovery = rec
+	return m, nil
+}
+
+// Store is the recovered, WAL-backed dataset store.
+func (m *Manager) Store() *dataset.Store { return m.store }
+
+// Recovery reports what Open reconstructed.
+func (m *Manager) Recovery() Recovery {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
+}
+
+// Snapshot cuts an atomic point-in-time snapshot and compacts WAL
+// segments it covers. The store is quiesced only while the record set
+// and WAL offset are captured; the file writes happen with ingestion
+// already flowing again.
+func (m *Manager) Snapshot() (SnapshotInfo, error) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	var (
+		rs  []dataset.Record
+		off uint64
+	)
+	m.store.Quiesce(func() {
+		rs = m.store.Select(dataset.Filter{})
+		off = m.log.Offset()
+	})
+	info, err := writeSnapshot(m.dir, rs, off, time.Now())
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	if err := m.log.Compact(off); err != nil {
+		return SnapshotInfo{}, err
+	}
+	m.mu.Lock()
+	m.snapOffset = info.WALOffset
+	m.snapRecords = info.Records
+	m.snapAt = info.SavedAt
+	m.mu.Unlock()
+	return info, nil
+}
+
+// Status reports the durable store's current shape.
+func (m *Manager) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Status{
+		Dir:             m.dir,
+		WALRecords:      m.log.Offset(),
+		WALSegments:     m.log.Segments(),
+		WALBytes:        m.log.SizeBytes(),
+		SnapshotOffset:  m.snapOffset,
+		SnapshotRecords: m.snapRecords,
+		SnapshotAt:      m.snapAt,
+		Recovery:        m.recovery,
+	}
+}
+
+// SetMeta durably records small key/value metadata about the data dir
+// (the iqbserver stores its world seed here so a restart rebuilds the
+// same geography the records were measured against).
+func (m *Manager) SetMeta(meta map[string]string) error {
+	body, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: encoding meta: %w", err)
+	}
+	path := filepath.Join(m.dir, metaName)
+	tmp := path + tmpSuffix
+	if err := writeFileSync(tmp, append(body, '\n')); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publishing meta: %w", err)
+	}
+	return syncDir(m.dir)
+}
+
+// Meta reads the metadata written by SetMeta; a missing file yields an
+// empty map.
+func (m *Manager) Meta() (map[string]string, error) {
+	body, err := os.ReadFile(filepath.Join(m.dir, metaName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return map[string]string{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading meta: %w", err)
+	}
+	meta := map[string]string{}
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return nil, fmt.Errorf("persist: decoding meta: %w", err)
+	}
+	return meta, nil
+}
+
+// Close detaches the ingest hook and closes the WAL. The store remains
+// usable in memory; further writes are no longer persisted.
+func (m *Manager) Close() error {
+	m.store.SetIngestHook(nil)
+	return m.log.Close()
+}

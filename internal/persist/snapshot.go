@@ -1,0 +1,206 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"iqb/internal/dataset"
+)
+
+// manifestName is the file naming the current snapshot; it is replaced
+// atomically (temp + fsync + rename), so there is always either no
+// manifest or a complete one.
+const (
+	manifestName = "MANIFEST.json"
+	snapPrefix   = "snap-"
+	snapSuffix   = ".ndjson"
+	tmpSuffix    = ".tmp"
+)
+
+// manifest describes the current snapshot: which file holds it, its
+// integrity checksum, and the WAL record offset it covers. Recovery
+// loads the snapshot and replays only WAL frames past WALOffset.
+type manifest struct {
+	Version   int       `json:"version"`
+	Snapshot  string    `json:"snapshot"`
+	Records   int       `json:"records"`
+	WALOffset uint64    `json:"wal_offset"`
+	CRC32C    uint32    `json:"crc32c"`
+	SavedAt   time.Time `json:"saved_at"`
+}
+
+const manifestVersion = 1
+
+// SnapshotInfo reports one completed snapshot.
+type SnapshotInfo struct {
+	Path      string    `json:"path"`
+	Records   int       `json:"records"`
+	WALOffset uint64    `json:"wal_offset"`
+	Bytes     int64     `json:"bytes"`
+	SavedAt   time.Time `json:"saved_at"`
+}
+
+// writeSnapshot atomically persists the record set as the current
+// snapshot covering walOffset: the NDJSON body lands under a temp name,
+// is fsynced, renamed into place, and only then does the manifest flip
+// to it (again via temp + fsync + rename). A crash anywhere in the
+// sequence leaves the previous snapshot intact and loadable.
+func writeSnapshot(dir string, rs []dataset.Record, walOffset uint64, now time.Time) (SnapshotInfo, error) {
+	name := fmt.Sprintf("%s%020d%s", snapPrefix, walOffset, snapSuffix)
+	path := filepath.Join(dir, name)
+	tmp := path + tmpSuffix
+
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("persist: creating snapshot temp: %w", err)
+	}
+	crc := crc32.New(crcTable)
+	bw := bufio.NewWriterSize(io.MultiWriter(f, crc), 256<<10)
+	if err := dataset.WriteNDJSON(bw, rs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: flushing snapshot: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: sizing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return SnapshotInfo{}, err
+	}
+
+	m := manifest{
+		Version:   manifestVersion,
+		Snapshot:  name,
+		Records:   len(rs),
+		WALOffset: walOffset,
+		CRC32C:    crc.Sum32(),
+		SavedAt:   now.UTC(),
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return SnapshotInfo{}, err
+	}
+	removeStaleSnapshots(dir, name)
+	return SnapshotInfo{Path: path, Records: len(rs), WALOffset: walOffset, Bytes: size, SavedAt: m.SavedAt}, nil
+}
+
+func writeManifest(dir string, m manifest) error {
+	body, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: encoding manifest: %w", err)
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + tmpSuffix
+	if err := writeFileSync(tmp, append(body, '\n')); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publishing manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// writeFileSync writes a small file and fsyncs it.
+func writeFileSync(path string, body []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("persist: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("persist: syncing %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+// removeStaleSnapshots deletes snapshot bodies (and orphaned temp
+// files) other than the one the manifest now names. Best-effort: a
+// leftover file wastes space but breaks nothing.
+func removeStaleSnapshots(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == keep {
+			continue
+		}
+		stale := strings.HasSuffix(name, tmpSuffix) ||
+			(strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix))
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// loadSnapshot reads the manifest and its snapshot body, verifying the
+// checksum. ok is false when no manifest exists (a fresh or WAL-only
+// data dir).
+func loadSnapshot(dir string) (rs []dataset.Record, m manifest, ok bool, err error) {
+	body, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, manifest{}, false, nil
+	}
+	if err != nil {
+		return nil, manifest{}, false, fmt.Errorf("persist: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, manifest{}, false, fmt.Errorf("persist: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, manifest{}, false, fmt.Errorf("persist: manifest version %d not supported", m.Version)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, m.Snapshot))
+	if err != nil {
+		return nil, manifest{}, false, fmt.Errorf("persist: reading snapshot %s: %w", m.Snapshot, err)
+	}
+	if sum := crc32.Checksum(snap, crcTable); sum != m.CRC32C {
+		return nil, manifest{}, false, fmt.Errorf("persist: snapshot %s checksum %08x, manifest says %08x (corruption)", m.Snapshot, sum, m.CRC32C)
+	}
+	rs, err = dataset.ReadNDJSON(bytes.NewReader(snap))
+	if err != nil {
+		return nil, manifest{}, false, fmt.Errorf("persist: decoding snapshot %s: %w", m.Snapshot, err)
+	}
+	if len(rs) != m.Records {
+		return nil, manifest{}, false, fmt.Errorf("persist: snapshot %s holds %d records, manifest says %d", m.Snapshot, len(rs), m.Records)
+	}
+	return rs, m, true, nil
+}

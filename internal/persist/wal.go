@@ -1,0 +1,501 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"iqb/internal/dataset"
+)
+
+// WAL on-disk format. Each segment file starts with an 8-byte magic and
+// holds a sequence of frames:
+//
+//	[4B payload length][4B record count][4B CRC32C of payload][payload]
+//
+// where the payload is an NDJSON batch in the dataset wire form.
+// Segments are named by the record offset of their first record,
+// zero-padded so lexical order is offset order; the name, not a file
+// header, carries the offset so accounting survives compaction.
+const (
+	segMagic     = "IQBWAL1\n"
+	frameHdrSize = 12
+	segSuffix    = ".wal"
+	// maxFrameBytes bounds a single frame; anything larger in a header
+	// is treated as damage, not data.
+	maxFrameBytes = 256 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks a frame that ends before its header says it should, or
+// fails its checksum — what a crash mid-append leaves behind. It is
+// recoverable at the tail of the last segment and corruption anywhere
+// else.
+var errTorn = errors.New("persist: torn frame")
+
+// walSegment is a sealed (non-active) segment.
+type walSegment struct {
+	name  string
+	start uint64 // record offset of the segment's first record
+	size  int64  // on-disk bytes, fixed at seal time
+}
+
+// Log is a segmented append-only write-ahead log of dataset record
+// batches. It is safe for concurrent use; Append serializes writers.
+type Log struct {
+	dir    string
+	segMax int64
+	noSync bool
+
+	mu          sync.Mutex
+	active      *os.File
+	activeName  string
+	activeStart uint64 // record offset at which the active segment starts
+	activeSize  int64  // bytes written to the active segment
+	old         []walSegment
+	offset      uint64 // records appended across the log's lifetime
+	torn        bool   // whether open found and truncated a torn tail
+	closed      bool
+}
+
+func segName(start uint64) string {
+	return fmt.Sprintf("%020d%s", start, segSuffix)
+}
+
+// OpenLog opens (or creates) the WAL in dir, verifying every sealed
+// segment and recovering the active segment's tail: a torn final frame
+// is truncated away so subsequent appends start at a clean boundary.
+func OpenLog(dir string, o Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating wal dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading wal dir: %w", err)
+	}
+	var segs []walSegment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		start, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("persist: segment %s has a malformed offset name: %w", name, err)
+		}
+		segs = append(segs, walSegment{name: name, start: start})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+
+	l := &Log{dir: dir, segMax: o.segmentBytes(), noSync: o.NoSync}
+	if len(segs) == 0 {
+		if err := l.createSegmentLocked(0); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		records, goodEnd, torn, err := scanSegment(filepath.Join(dir, seg.name))
+		if err != nil {
+			return nil, fmt.Errorf("persist: segment %s: %w", seg.name, err)
+		}
+		if torn && !last {
+			return nil, fmt.Errorf("persist: segment %s: torn frame in sealed segment (corruption)", seg.name)
+		}
+		if !last {
+			if want := segs[i+1].start; seg.start+records != want {
+				return nil, fmt.Errorf("persist: segment %s holds %d records from offset %d but next segment starts at %d (corruption)",
+					seg.name, records, seg.start, want)
+			}
+			seg.size = goodEnd // a clean sealed segment ends at its last frame
+			l.old = append(l.old, seg)
+			continue
+		}
+		// Active (last) segment: truncate any torn tail and reopen for
+		// appending.
+		path := filepath.Join(dir, seg.name)
+		if torn {
+			if err := truncateSegment(path, goodEnd); err != nil {
+				return nil, err
+			}
+			l.torn = true
+			if goodEnd < int64(len(segMagic)) {
+				goodEnd = int64(len(segMagic))
+			}
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("persist: opening active segment: %w", err)
+		}
+		l.active = f
+		l.activeName = seg.name
+		l.activeStart = seg.start
+		l.activeSize = goodEnd
+		l.offset = seg.start + records
+	}
+	return l, nil
+}
+
+// truncateSegment cuts a segment back to its last clean frame boundary,
+// rewriting the magic if the tear landed inside it, and fsyncs.
+func truncateSegment(path string, goodEnd int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: opening torn segment: %w", err)
+	}
+	defer f.Close()
+	if goodEnd < int64(len(segMagic)) {
+		// The crash landed inside the segment header (mid-rotation):
+		// reset to an empty, well-formed segment.
+		goodEnd = 0
+	}
+	if err := f.Truncate(goodEnd); err != nil {
+		return fmt.Errorf("persist: truncating torn tail: %w", err)
+	}
+	if goodEnd == 0 {
+		if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+			return fmt.Errorf("persist: rewriting segment magic: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing truncated segment: %w", err)
+	}
+	return nil
+}
+
+// scanSegment validates one segment's frames without decoding payloads.
+// It returns the record count, the byte offset just past the last clean
+// frame, and whether the segment ends in a torn frame.
+func scanSegment(path string) (records uint64, goodEnd int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		// Shorter than the magic: a crash during segment creation.
+		return 0, 0, true, nil
+	}
+	if string(magic) != segMagic {
+		return 0, 0, false, fmt.Errorf("bad segment magic %q", magic)
+	}
+	goodEnd = int64(len(segMagic))
+	for {
+		count, payload, ferr := readFrame(br)
+		if ferr == io.EOF {
+			return records, goodEnd, false, nil
+		}
+		if errors.Is(ferr, errTorn) {
+			return records, goodEnd, true, nil
+		}
+		if ferr != nil {
+			return 0, 0, false, ferr
+		}
+		records += uint64(count)
+		goodEnd += frameHdrSize + int64(len(payload))
+	}
+}
+
+// readFrame reads one frame. io.EOF means a clean end at a frame
+// boundary; errTorn means the bytes give out mid-frame or the checksum
+// fails.
+func readFrame(br *bufio.Reader) (count uint32, payload []byte, err error) {
+	var hdr [frameHdrSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, errTorn // partial header
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	count = binary.LittleEndian.Uint32(hdr[4:8])
+	sum := binary.LittleEndian.Uint32(hdr[8:12])
+	if length == 0 || length > maxFrameBytes {
+		return 0, nil, errTorn
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, errTorn // partial payload
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return 0, nil, errTorn
+	}
+	return count, payload, nil
+}
+
+// createSegmentLocked starts a fresh segment at the given record offset
+// and makes it the active one. The caller holds l.mu (or is OpenLog).
+func (l *Log) createSegmentLocked(start uint64) error {
+	name := segName(start)
+	path := filepath.Join(l.dir, name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating segment: %w", err)
+	}
+	// A half-created segment must not survive a failed rotation, or
+	// the retry's O_EXCL open would fail forever on the leftover.
+	abandon := func() {
+		f.Close()
+		os.Remove(path)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		abandon()
+		return fmt.Errorf("persist: writing segment magic: %w", err)
+	}
+	if !l.noSync {
+		if err := f.Sync(); err != nil {
+			abandon()
+			return fmt.Errorf("persist: syncing new segment: %w", err)
+		}
+		if err := syncDir(l.dir); err != nil {
+			abandon()
+			return err
+		}
+	}
+	if l.active != nil {
+		if err := l.active.Close(); err != nil {
+			abandon()
+			return fmt.Errorf("persist: closing sealed segment: %w", err)
+		}
+		l.old = append(l.old, walSegment{name: l.activeName, start: l.activeStart, size: l.activeSize})
+	}
+	l.active = f
+	l.activeName = name
+	l.activeStart = start
+	l.activeSize = int64(len(segMagic))
+	l.offset = start
+	return nil
+}
+
+// Append frames the batch and writes it to the active segment,
+// fsyncing unless the log was opened with NoSync. When Append returns
+// nil the batch is durable; a non-nil error means the batch must be
+// treated as not written (a torn partial write is truncated away on the
+// next open).
+func (l *Log) Append(rs []dataset.Record) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	var payload bytes.Buffer
+	if err := dataset.WriteNDJSON(&payload, rs); err != nil {
+		return fmt.Errorf("persist: encoding batch: %w", err)
+	}
+	if payload.Len() > maxFrameBytes {
+		return fmt.Errorf("persist: batch frame %d bytes exceeds %d; split the batch", payload.Len(), maxFrameBytes)
+	}
+	frame := make([]byte, frameHdrSize+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(rs)))
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.Checksum(payload.Bytes(), crcTable))
+	copy(frame[frameHdrSize:], payload.Bytes())
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("persist: log is closed")
+	}
+	// On any failure the frame's durability is unknown, so roll the
+	// file back to the pre-append boundary (best-effort): the caller
+	// treats an errored batch as not written, and a frame that
+	// survived anyway would resurface on recovery as a write the store
+	// vetoed. Replay tolerates exact duplicates, but not resurrection.
+	if _, err := l.active.Write(frame); err != nil {
+		l.active.Truncate(l.activeSize)
+		return fmt.Errorf("persist: appending frame: %w", err)
+	}
+	if !l.noSync {
+		if err := l.active.Sync(); err != nil {
+			l.active.Truncate(l.activeSize)
+			return fmt.Errorf("persist: syncing frame: %w", err)
+		}
+	}
+	l.activeSize += int64(len(frame))
+	l.offset += uint64(len(rs))
+	if l.activeSize >= l.segMax {
+		// The frame is already durable, so a failed rotation must not
+		// turn the ack into an error: keep the oversized segment
+		// active and let the next append retry the rotation.
+		_ = l.createSegmentLocked(l.offset)
+	}
+	return nil
+}
+
+// Replay streams every batch whose records lie past the `from` record
+// offset, in append order. It fails if `from` falls inside a batch:
+// snapshots cut at batch boundaries, so a split batch means the
+// manifest and the log disagree.
+func (l *Log) Replay(from uint64, fn func(rs []dataset.Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs := append(append([]walSegment(nil), l.old...), walSegment{name: l.activeName, start: l.activeStart})
+	for i, seg := range segs {
+		end := l.offset
+		if i+1 < len(segs) {
+			end = segs[i+1].start
+		}
+		if end <= from {
+			continue
+		}
+		if err := l.replaySegment(seg, from, fn); err != nil {
+			return fmt.Errorf("persist: segment %s: %w", seg.name, err)
+		}
+	}
+	return nil
+}
+
+func (l *Log) replaySegment(seg walSegment, from uint64, fn func(rs []dataset.Record) error) error {
+	f, err := os.Open(filepath.Join(l.dir, seg.name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		return fmt.Errorf("bad segment magic")
+	}
+	cum := seg.start
+	for {
+		count, payload, ferr := readFrame(br)
+		if ferr == io.EOF || errors.Is(ferr, errTorn) {
+			// A torn tail past the open-time truncation point cannot
+			// happen on the sealed prefix; the active segment was
+			// already truncated at open, so EOF semantics apply.
+			return nil
+		}
+		if ferr != nil {
+			return ferr
+		}
+		frameEnd := cum + uint64(count)
+		if frameEnd <= from {
+			cum = frameEnd
+			continue
+		}
+		if cum < from {
+			return fmt.Errorf("offset %d splits a batch spanning [%d,%d) (manifest/log mismatch)", from, cum, frameEnd)
+		}
+		rs, err := dataset.ReadNDJSON(bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("decoding batch at offset %d: %w", cum, err)
+		}
+		if uint32(len(rs)) != count {
+			return fmt.Errorf("batch at offset %d decodes to %d records, header says %d", cum, len(rs), count)
+		}
+		if err := fn(rs); err != nil {
+			return err
+		}
+		cum = frameEnd
+	}
+}
+
+// Compact seals the active segment if it holds records covered by
+// `through`, then deletes sealed segments whose every record is covered.
+// The snapshot path calls this with the manifest's WAL offset.
+func (l *Log) Compact(through uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("persist: log is closed")
+	}
+	if l.activeStart < through && l.activeSize > int64(len(segMagic)) {
+		if err := l.createSegmentLocked(l.offset); err != nil {
+			return err
+		}
+	}
+	// Removal commits per segment (and tolerates an already-missing
+	// file), so one failed unlink never leaves deleted segments
+	// tracked — that would poison every later Compact with ENOENT.
+	var kept []walSegment
+	var firstErr error
+	removed := false
+	for i, seg := range l.old {
+		end := l.activeStart
+		if i+1 < len(l.old) {
+			end = l.old[i+1].start
+		}
+		if end > through {
+			kept = append(kept, seg)
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("persist: removing compacted segment: %w", err)
+			}
+			kept = append(kept, seg)
+			continue
+		}
+		removed = true
+	}
+	l.old = kept
+	if firstErr != nil {
+		return firstErr
+	}
+	if removed && !l.noSync {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Offset reports how many records have been appended over the log's
+// lifetime (surviving compaction, which only drops covered segments).
+func (l *Log) Offset() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offset
+}
+
+// TornTail reports whether opening the log found (and truncated) a torn
+// final frame — evidence of a crash mid-append.
+func (l *Log) TornTail() bool { return l.torn }
+
+// Segments reports how many segment files the log currently holds.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.old) + 1
+}
+
+// SizeBytes reports the log's current on-disk size from tracked
+// segment sizes — no filesystem syscalls, so health checks never stall
+// appenders on stat calls.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := l.activeSize
+	for _, seg := range l.old {
+		total += seg.size
+	}
+	return total
+}
+
+// Close syncs and closes the active segment. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if !l.noSync {
+		if err := l.active.Sync(); err != nil {
+			l.active.Close()
+			return fmt.Errorf("persist: syncing on close: %w", err)
+		}
+	}
+	return l.active.Close()
+}

@@ -50,6 +50,11 @@ type Spec struct {
 	Workers int
 	// OoklaMinGroup is the publisher's suppression threshold.
 	OoklaMinGroup int
+	// Store, when non-nil, receives the run's records instead of a
+	// fresh in-memory store. iqbserver passes a WAL-backed store here
+	// so ingestion is durable from the first batch; the store must be
+	// empty, since records are added, never replaced.
+	Store *dataset.Store
 }
 
 // DefaultSpec returns a laptop-scale run: the default geography, one
@@ -189,7 +194,10 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	// because measurement volume follows usage.
 	jobs := buildJobs(world, spec)
 
-	store := dataset.NewStore()
+	store := spec.Store
+	if store == nil {
+		store = dataset.NewStore()
+	}
 
 	workers := spec.Workers
 	if workers <= 0 {
