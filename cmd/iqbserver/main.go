@@ -5,9 +5,11 @@
 //
 //	iqbserver [-addr 127.0.0.1:8600] [-seed 42] [-tests 120]
 //	          [-data-dir DIR] [-snapshot-interval 5m] [-wal-segment-bytes N]
+//	          [-score-cache=true] [-cache-stats 0]
 //
 // Endpoints: /v1/health /v1/config /v1/regions /v1/score?region=R
-// /v1/ranking /v1/datasets, plus POST /v1/snapshot with -data-dir.
+// (optional from/to RFC 3339 window bounds) /v1/ranking /v1/datasets,
+// plus POST /v1/snapshot with -data-dir.
 //
 // Memory-only (no -data-dir) boots re-simulate the world every start.
 // With -data-dir, the first boot runs the pipeline into a WAL-backed
@@ -19,6 +21,15 @@
 // recorded in the data dir (which overrides -seed). A background
 // snapshotter cuts a fresh snapshot every -snapshot-interval (0
 // disables it) and compacts WAL segments the snapshot covers.
+//
+// By default the server answers /v1/score and /v1/ranking from a
+// scored-region cache invalidated precisely by ingest: the cache joins
+// the store's hook chain next to the WAL tee, evicts only the (region,
+// window) entries a committed batch touched, and maintains the county
+// ranking as an incrementally repaired sorted view. -score-cache=false
+// reverts to scoring every request from the store. /v1/health reports
+// hit/miss/eviction counters in its cache block; -cache-stats D also
+// logs them every D (0 disables the log line).
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"iqb/internal/iqb"
 	"iqb/internal/persist"
 	"iqb/internal/pipeline"
+	"iqb/internal/scorecache"
 )
 
 func main() {
@@ -155,6 +167,29 @@ func openWorld(logger *slog.Logger, spec pipeline.Spec, opts bootOptions) (*worl
 	return &world{store: res.Store, db: res.World.DB, mgr: mgr}, nil
 }
 
+// cacheStatsLoop logs score-cache effectiveness until ctx is done.
+func cacheStatsLoop(ctx context.Context, logger *slog.Logger, cache *scorecache.Cache, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st := cache.Stats()
+			logger.Info("score cache",
+				"entries", st.Entries,
+				"hits", st.Hits,
+				"misses", st.Misses,
+				"uncacheable", st.Uncacheable,
+				"shared_flights", st.SharedFlights,
+				"invalidations", st.Invalidations,
+				"evictions", st.Evictions,
+				"ranking_repairs", st.RankingRepairs)
+		}
+	}
+}
+
 // snapshotLoop cuts periodic snapshots until ctx is done.
 func snapshotLoop(ctx context.Context, logger *slog.Logger, mgr *persist.Manager, every time.Duration) {
 	t := time.NewTicker(every)
@@ -183,6 +218,8 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable store directory; empty serves memory-only")
 	snapEvery := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (0 disables)")
 	segBytes := fs.Int64("wal-segment-bytes", persist.DefaultSegmentBytes, "WAL segment rotation threshold")
+	useCache := fs.Bool("score-cache", true, "serve /v1/score and /v1/ranking from the ingest-invalidated score cache")
+	cacheStats := fs.Duration("cache-stats", 0, "score-cache stats logging period (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,7 +233,8 @@ func run(args []string) error {
 		return err
 	}
 
-	api, err := httpapi.New(iqb.DefaultConfig(), w.store, w.db, logger)
+	cfg := iqb.DefaultConfig()
+	api, err := httpapi.New(cfg, w.store, w.db, logger)
 	if err != nil {
 		return err
 	}
@@ -207,6 +245,21 @@ func run(args []string) error {
 		defer w.mgr.Close()
 		if *snapEvery > 0 {
 			go snapshotLoop(ctx, logger, w.mgr, *snapEvery)
+		}
+	}
+	if *useCache {
+		// Registered after any WAL tee: both live on the store's hook
+		// chain, batches tee durably first and invalidate the cache once
+		// committed.
+		cache, err := scorecache.New(w.store, cfg, logger)
+		if err != nil {
+			return err
+		}
+		defer cache.Close()
+		api.SetScoreCache(cache)
+		logger.Info("score cache enabled", "config_hash", cache.ConfigHash())
+		if *cacheStats > 0 {
+			go cacheStatsLoop(ctx, logger, cache, *cacheStats)
 		}
 	}
 	srv := &http.Server{

@@ -12,4 +12,13 @@
 // torn WAL tail after a crash) instead of re-running the measurement
 // pipeline; internal/persist's benchmarks quantify the WAL ingest tax
 // and the recovery-vs-replay win.
+//
+// Read path: internal/scorecache caches per-region scores keyed by
+// (region, time window, config hash) and invalidates them precisely
+// when ingestion commits — it subscribes to the dataset store's ordered
+// hook chain (coexisting with the WAL tee) and maintains the county
+// ranking as an incrementally repaired sorted view, so cmd/iqbserver's
+// /v1/score and /v1/ranking serve cached results that are byte-identical
+// to uncached scoring; internal/httpapi's cold-vs-warm benchmarks
+// quantify the win.
 package repro

@@ -86,12 +86,14 @@ type Store struct {
 	alpha   float64
 
 	// ingestMu fences writers against Quiesce: every mutation holds it
-	// shared for the full validate→hook→insert sequence, so an exclusive
-	// holder observes the store with no ingestion in flight — in
-	// particular, never between a hook's durable tee and the matching
-	// shard mutation.
-	ingestMu sync.RWMutex
-	hook     IngestHook
+	// shared for the full validate→hooks→insert→commit sequence, so an
+	// exclusive holder observes the store with no ingestion in flight —
+	// in particular, never between a hook's durable tee and the matching
+	// shard mutation, and never before a committed batch's commit
+	// notifications have fired.
+	ingestMu   sync.RWMutex
+	hooks      []hookEntry
+	nextHookID uint64
 }
 
 // IngestHook observes every batch that is about to enter the store —
@@ -102,6 +104,40 @@ type Store struct {
 // the in-memory mutation, so an acknowledged write is always
 // recoverable. Hooks must not call back into the store.
 type IngestHook func(rs []Record) error
+
+// BatchNotify observes a batch without the power to veto it. Commit
+// notifications fire after every record of the batch is visible in the
+// shards; abort notifications fire when a later hook in the chain
+// vetoed a batch this observer had already been told about. Notify
+// functions must not call back into the store.
+type BatchNotify func(rs []Record)
+
+// Hooks is one observer's set of batch callbacks. Any field may be nil.
+//
+// For each batch that clears validation and dedup, the store runs every
+// registered observer's Ingest in registration order; the first error
+// vetoes the batch, the store unwinds (Abort, in reverse order, on the
+// observers that came before the vetoing one) and stays unchanged. If
+// the whole chain accepts, the batch is applied to the shards and then
+// every observer's Commit runs, again in registration order. The entire
+// sequence happens inside the write fence, so Quiesce never observes a
+// batch between its durable tee and its commit notifications.
+//
+// A write-ahead log registers {Ingest: tee}; a derived-result cache
+// registers {Ingest: markPending, Commit: invalidate, Abort: unmark} —
+// the two coexist on one store, which the old single-slot SetIngestHook
+// could not express.
+type Hooks struct {
+	Ingest IngestHook
+	Commit BatchNotify
+	Abort  BatchNotify
+}
+
+// hookEntry is one registered observer, tagged for removal.
+type hookEntry struct {
+	id uint64
+	h  Hooks
+}
 
 // NewStore returns an empty store with default options.
 func NewStore() *Store { return NewStoreWith(Options{}) }
@@ -134,20 +170,76 @@ func NewStoreWith(o Options) *Store {
 // NumShards reports the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// SetIngestHook installs (or, with nil, removes) the ingest hook. It
-// waits for in-flight writes to drain, so after it returns every
-// subsequent successful Add/AddBatch has passed through h. Recovery
-// installs the hook only after replaying, so replayed batches are not
-// re-teed to the log they came from.
-func (s *Store) SetIngestHook(h IngestHook) {
+// AddHooks appends an observer to the hook chain and returns a function
+// that removes it again. Both registration and removal wait for
+// in-flight writes to drain, so after AddHooks returns every subsequent
+// successful Add/AddBatch passes through the observer, and after the
+// remove function returns none do. Recovery installs its WAL tee only
+// after replaying, so replayed batches are not re-teed to the log they
+// came from. The remove function is idempotent.
+func (s *Store) AddHooks(h Hooks) (remove func()) {
 	s.ingestMu.Lock()
-	s.hook = h
+	id := s.nextHookID
+	s.nextHookID++
+	s.hooks = append(s.hooks, hookEntry{id: id, h: h})
 	s.ingestMu.Unlock()
+	return func() {
+		s.ingestMu.Lock()
+		for i, e := range s.hooks {
+			if e.id == id {
+				s.hooks = append(s.hooks[:i], s.hooks[i+1:]...)
+				break
+			}
+		}
+		s.ingestMu.Unlock()
+	}
+}
+
+// AddIngestHook registers a veto-capable pre-commit hook with no
+// commit/abort notifications — the write-ahead-log shape of AddHooks.
+func (s *Store) AddIngestHook(h IngestHook) (remove func()) {
+	return s.AddHooks(Hooks{Ingest: h})
+}
+
+// runIngestHooks walks the chain's Ingest phase in registration order.
+// On a veto it aborts, in reverse order, the observers that already
+// ran, and returns the vetoing error. Callers hold ingestMu shared.
+func (s *Store) runIngestHooks(rs []Record) error {
+	for i, e := range s.hooks {
+		if e.h.Ingest == nil {
+			continue
+		}
+		if err := e.h.Ingest(rs); err != nil {
+			// Unwind only the observers that were actually told about the
+			// batch: an Ingest-less observer has no in-flight state to
+			// release, and a spurious Abort could corrupt accounting it
+			// keeps for other batches.
+			for j := i - 1; j >= 0; j-- {
+				if s.hooks[j].h.Ingest != nil && s.hooks[j].h.Abort != nil {
+					s.hooks[j].h.Abort(rs)
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// runCommitHooks fires the chain's Commit phase in registration order,
+// after every record of the batch is visible in the shards. Callers
+// hold ingestMu shared, so Quiesce sees all notifications delivered.
+func (s *Store) runCommitHooks(rs []Record) {
+	for _, e := range s.hooks {
+		if e.h.Commit != nil {
+			e.h.Commit(rs)
+		}
+	}
 }
 
 // Quiesce runs fn while no ingestion is in flight: writers that have
-// cleared the ingest hook have also finished mutating shards, and new
-// writers block until fn returns. The persistence layer snapshots under
+// cleared the ingest hook chain have also finished mutating shards and
+// delivering their commit notifications, and new writers block until
+// fn returns. The persistence layer snapshots under
 // Quiesce so the captured record set and the captured WAL offset name
 // the same point in time. fn must not write to the store.
 func (s *Store) Quiesce(fn func()) {
@@ -192,17 +284,17 @@ func (s *Store) Add(r Record) error {
 	st.ids[key] = struct{}{}
 	st.mu.Unlock()
 
-	if s.hook != nil {
-		if err := s.hook([]Record{r}); err != nil {
-			s.unclaim([]string{key})
-			return fmt.Errorf("dataset: ingest hook: %w", err)
-		}
+	rs := []Record{r}
+	if err := s.runIngestHooks(rs); err != nil {
+		s.unclaim([]string{key})
+		return fmt.Errorf("dataset: ingest hook: %w", err)
 	}
 
 	sh := s.shardFor(r.Dataset, r.Region)
 	sh.mu.Lock()
 	sh.insertLocked(s.seq.Add(1), r, s.cutover, s.alpha)
 	sh.mu.Unlock()
+	s.runCommitHooks(rs)
 	return nil
 }
 
@@ -270,14 +362,12 @@ func (s *Store) AddBatch(rs []Record) error {
 	}
 	unlock()
 
-	// The batch is now validated and its IDs claimed, so the hook sees
-	// exactly what the shards are about to absorb; a hook veto releases
+	// The batch is now validated and its IDs claimed, so the hook chain
+	// sees exactly what the shards are about to absorb; a veto releases
 	// the claims and leaves the store untouched.
-	if s.hook != nil {
-		if err := s.hook(rs); err != nil {
-			s.unclaim(keys)
-			return fmt.Errorf("dataset: ingest hook: %w", err)
-		}
+	if err := s.runIngestHooks(rs); err != nil {
+		s.unclaim(keys)
+		return fmt.Errorf("dataset: ingest hook: %w", err)
 	}
 
 	// Sequence numbers are claimed as one contiguous block so the batch
@@ -296,6 +386,7 @@ func (s *Store) AddBatch(rs []Record) error {
 		}
 		sh.mu.Unlock()
 	}
+	s.runCommitHooks(rs)
 	return nil
 }
 

@@ -1,0 +1,241 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/geo"
+	"iqb/internal/iqb"
+	"iqb/internal/scorecache"
+)
+
+// newServer builds a Server (not yet listening) over a fresh world.
+func newServer(t *testing.T) (*Server, *dataset.Store, *geo.DB) {
+	t.Helper()
+	store, db := buildWorld(t)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv, err := New(iqb.DefaultConfig(), store, db, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, store, db
+}
+
+// attachCache wires a scored-region cache onto a server's store.
+func attachCache(t *testing.T, srv *Server, store *dataset.Store) *scorecache.Cache {
+	t.Helper()
+	cache, err := scorecache.New(store, iqb.DefaultConfig(), slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cache.Close)
+	srv.SetScoreCache(cache)
+	return cache
+}
+
+// TestScoreTimeWindow: the from/to query params — which the old handler
+// accepted and silently dropped — now select a real [from, to) window.
+func TestScoreTimeWindow(t *testing.T) {
+	srv, _, _ := newServer(t)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	// All records sit at 2025-06-01 12:00 UTC.
+	full, err := c.Score(ctx, "XA-01-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+	windowed, err := c.ScoreWindow(ctx, "XA-01-001", day, day.AddDate(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windowed.Score.IQB != full.Score.IQB {
+		t.Errorf("window covering all data scored %v, unbounded %v", windowed.Score.IQB, full.Score.IQB)
+	}
+	// A window with no data is a 404, proving the bounds reach the store.
+	if _, err := c.ScoreWindow(ctx, "XA-01-001", day.AddDate(0, 0, 7), day.AddDate(0, 0, 8)); err == nil ||
+		!strings.Contains(err.Error(), "no usable data") {
+		t.Errorf("empty window err = %v, want no-usable-data", err)
+	}
+}
+
+// TestScoreTimeWindowErrors: unparsable bounds and inverted windows are
+// 400s, not silently ignored.
+func TestScoreTimeWindowErrors(t *testing.T) {
+	srv, _, _ := newServer(t)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	for _, path := range []string{
+		"/v1/score?region=XA-01-001&from=yesterday",
+		"/v1/score?region=XA-01-001&to=2025-13-99",
+		"/v1/score?region=XA-01-001&from=2025-06-02T00:00:00Z&to=2025-06-01T00:00:00Z",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRankingOmitsFailedRegion: one region failing with a real error is
+// logged and counted, not a 500 that discards every other row.
+func TestRankingOmitsFailedRegion(t *testing.T) {
+	srv, _, _ := newServer(t)
+	cfg := iqb.DefaultConfig()
+	srv.scoreOverride = func(region string, from, to time.Time) (iqb.Score, error) {
+		if region == "XA-01-002" {
+			return iqb.Score{}, errors.New("synthetic scoring failure")
+		}
+		return cfg.ScoreRegion(srv.store, region, from, to)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+	resp, err := c.Ranking(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Omitted != 1 || len(resp.Rows) != 1 || resp.Rows[0].Region != "XA-01-001" {
+		t.Fatalf("ranking = %+v", resp)
+	}
+}
+
+// TestCachedResponsesByteIdentical is the determinism acceptance test:
+// with identical worlds, a cache-backed server's /v1/score and
+// /v1/ranking bodies are byte-identical to an uncached server's — cold,
+// warm, and again after an invalidating AddBatch.
+func TestCachedResponsesByteIdentical(t *testing.T) {
+	plain, plainStore, _ := newServer(t)
+	cached, cachedStore, _ := newServer(t)
+	attachCache(t, cached, cachedStore)
+	tsPlain := httptest.NewServer(plain)
+	t.Cleanup(tsPlain.Close)
+	tsCached := httptest.NewServer(cached)
+	t.Cleanup(tsCached.Close)
+
+	get := func(base, path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	compare := func(stage string) {
+		t.Helper()
+		for _, path := range []string{
+			"/v1/score?region=XA-01-001",
+			"/v1/score?region=XA-01",
+			"/v1/score?region=XA-01-001&from=2025-06-01T00:00:00Z&to=2025-06-02T00:00:00Z",
+			"/v1/ranking",
+		} {
+			want := get(tsPlain.URL, path)
+			// Twice: the first cached response is a cold miss, the second
+			// a hit — both must match the uncached body byte for byte.
+			if got := get(tsCached.URL, path); got != want {
+				t.Errorf("%s cold %s: cached body differs\ncached:   %s\nuncached: %s", stage, path, got, want)
+			}
+			if got := get(tsCached.URL, path); got != want {
+				t.Errorf("%s warm %s: cached body differs", stage, path)
+			}
+		}
+	}
+	compare("pre-ingest")
+
+	// An invalidating batch applied to both worlds: the cache must serve
+	// the new truth, still byte-identical.
+	batch := func() []dataset.Record {
+		ts := time.Date(2025, 6, 1, 18, 0, 0, 0, time.UTC)
+		var rs []dataset.Record
+		for i := 0; i < 12; i++ {
+			r := dataset.NewRecord("inv-"+string(rune('a'+i)), "ndt", "XA-01-001", ts)
+			r.DownloadMbps = 4
+			r.UploadMbps = 0.5
+			r.LatencyMS = 250
+			r.LossFrac = 0.05
+			rs = append(rs, r)
+		}
+		return rs
+	}
+	if err := plainStore.AddBatch(batch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cachedStore.AddBatch(batch()); err != nil {
+		t.Fatal(err)
+	}
+	compare("post-ingest")
+}
+
+// TestHealthReportsCache: the health endpoint grows a cache block when
+// a score cache is attached and counts real traffic.
+func TestHealthReportsCache(t *testing.T) {
+	srv, store, _ := newServer(t)
+	attachCache(t, srv, store)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	if _, err := c.Score(ctx, "XA-01-001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Score(ctx, "XA-01-001"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache == nil {
+		t.Fatal("health omits cache block on a cache-backed server")
+	}
+	if h.Cache.Hits != 1 || h.Cache.Misses != 1 || h.Cache.Entries != 1 || h.Cache.ConfigHash == "" {
+		t.Fatalf("cache stats = %+v", h.Cache)
+	}
+
+	// Memory-only-style server without a cache: block absent.
+	plain := newAPIServer(t)
+	h2, err := (&Client{BaseURL: plain.URL}).Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Cache != nil {
+		t.Fatalf("cacheless health reports cache: %+v", h2.Cache)
+	}
+}
+
+// TestWriteJSONEncodeFailure: a value that cannot encode yields a real
+// 500 with the error envelope, never a truncated 200 (the old
+// writeJSON streamed straight into the ResponseWriter).
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	srv, _, _ := newServer(t)
+	rec := httptest.NewRecorder()
+	srv.writeJSON(rec, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "encoding response failed") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 )
 
 // Client is a typed client for the IQB API.
@@ -78,16 +79,30 @@ func (c *Client) Regions(ctx context.Context) ([]RegionInfo, error) {
 	return out, err
 }
 
-// Score fetches one region's score breakdown.
+// Score fetches one region's score breakdown over all data.
 func (c *Client) Score(ctx context.Context, region string) (ScoreResponse, error) {
+	return c.ScoreWindow(ctx, region, time.Time{}, time.Time{})
+}
+
+// ScoreWindow fetches one region's score breakdown over the [from, to)
+// time window; zero bounds are unbounded.
+func (c *Client) ScoreWindow(ctx context.Context, region string, from, to time.Time) (ScoreResponse, error) {
+	path := "/v1/score?region=" + url.QueryEscape(region)
+	if !from.IsZero() {
+		path += "&from=" + url.QueryEscape(from.Format(time.RFC3339Nano))
+	}
+	if !to.IsZero() {
+		path += "&to=" + url.QueryEscape(to.Format(time.RFC3339Nano))
+	}
 	var out ScoreResponse
-	err := c.get(ctx, "/v1/score?region="+url.QueryEscape(region), &out)
+	err := c.get(ctx, path, &out)
 	return out, err
 }
 
-// Ranking fetches the county ranking.
-func (c *Client) Ranking(ctx context.Context) ([]RankingRow, error) {
-	var out []RankingRow
+// Ranking fetches the county ranking plus the count of regions omitted
+// by scoring failures.
+func (c *Client) Ranking(ctx context.Context) (RankingResponse, error) {
+	var out RankingResponse
 	err := c.get(ctx, "/v1/ranking", &out)
 	return out, err
 }

@@ -165,10 +165,14 @@ func TestScoreErrors(t *testing.T) {
 func TestRanking(t *testing.T) {
 	ts := newAPIServer(t)
 	c := &Client{BaseURL: ts.URL}
-	rows, err := c.Ranking(context.Background())
+	resp, err := c.Ranking(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	if resp.Omitted != 0 {
+		t.Errorf("omitted = %d, want 0", resp.Omitted)
+	}
+	rows := resp.Rows
 	if len(rows) != 2 {
 		t.Fatalf("ranking rows = %d", len(rows))
 	}
@@ -211,7 +215,13 @@ func TestEmptyListsEncodeAsArrays(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	for _, path := range []string{"/v1/regions", "/v1/ranking", "/v1/datasets"} {
+	want := map[string]string{
+		"/v1/regions":  "[]",
+		"/v1/datasets": "[]",
+		// The ranking envelope's rows must encode [] — never null.
+		"/v1/ranking": `{"rows":[],"omitted":0}`,
+	}
+	for path, wantBody := range want {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -221,8 +231,8 @@ func TestEmptyListsEncodeAsArrays(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("%s status = %d", path, resp.StatusCode)
 		}
-		if got := strings.TrimSpace(string(body)); got != "[]" {
-			t.Errorf("%s body = %q, want []", path, got)
+		if got := strings.TrimSpace(string(body)); got != wantBody {
+			t.Errorf("%s body = %q, want %q", path, got, wantBody)
 		}
 	}
 }

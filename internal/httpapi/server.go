@@ -4,17 +4,26 @@
 //
 // Endpoints (JSON):
 //
-//	GET  /v1/health            liveness, store size, persistence status
+//	GET  /v1/health            liveness, store size, persistence and
+//	                           score-cache status
 //	GET  /v1/config            the active framework configuration
 //	GET  /v1/regions           region codes with level/character/population
-//	GET  /v1/score?region=R    full score breakdown for a region subtree
-//	GET  /v1/ranking           counties ranked best-first
+//	GET  /v1/score?region=R    full score breakdown for a region subtree;
+//	                           optional from/to RFC 3339 bounds select a
+//	                           [from, to) time window
+//	GET  /v1/ranking           counties ranked best-first, with a count
+//	                           of regions omitted by scoring failures
 //	GET  /v1/datasets          dataset names with record counts
 //	POST /v1/snapshot          cut a durable snapshot (503 when the
 //	                           server runs memory-only)
+//
+// When a scored-region cache is attached (SetScoreCache), /v1/score and
+// /v1/ranking are served from it — invalidated precisely by ingest via
+// the store's hook chain — and /v1/health reports its effectiveness.
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +36,7 @@ import (
 	"iqb/internal/geo"
 	"iqb/internal/iqb"
 	"iqb/internal/persist"
+	"iqb/internal/scorecache"
 )
 
 // Persistence is the durable-store control surface the server exposes
@@ -47,6 +57,11 @@ type Server struct {
 	log     *slog.Logger
 	mux     *http.ServeMux
 	persist Persistence
+	cache   *scorecache.Cache
+
+	// scoreOverride substitutes the scoring function in tests (e.g. to
+	// inject per-region failures); nil in production.
+	scoreOverride func(region string, from, to time.Time) (iqb.Score, error)
 }
 
 // New builds a server. The logger may be nil.
@@ -77,6 +92,26 @@ func New(cfg iqb.Config, store *dataset.Store, db *geo.DB, logger *slog.Logger) 
 // health persistence block answer 503/absent until one is attached.
 func (s *Server) SetPersistence(p Persistence) { s.persist = p }
 
+// SetScoreCache attaches a scored-region cache (nil detaches it). Call
+// before serving. With a cache attached, /v1/score and /v1/ranking are
+// answered from cached scores invalidated by ingest, and /v1/health
+// grows a cache block. The cache must be built over the same store and
+// configuration the server was.
+func (s *Server) SetScoreCache(c *scorecache.Cache) { s.cache = c }
+
+// scoreRegion scores one region subtree through the cache when one is
+// attached, directly otherwise.
+func (s *Server) scoreRegion(region string, from, to time.Time) (iqb.Score, error) {
+	if s.scoreOverride != nil {
+		return s.scoreOverride(region, from, to)
+	}
+	if s.cache != nil {
+		score, _, err := s.cache.Score(region, from, to)
+		return score, err
+	}
+	return s.cfg.ScoreRegion(s.store, region, from, to)
+}
+
 // ServeHTTP implements http.Handler with logging and panic recovery.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -101,21 +136,29 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(errorBody{Error: msg})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing to do but log upstream.
+// writeJSON encodes v to a buffer first, so a mid-encode failure yields
+// a real 500 instead of a truncated 200 body whose status line already
+// went out.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		s.log.Error("encoding response", "err", err)
+		writeError(w, http.StatusInternalServerError, "encoding response failed")
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
-// HealthResponse reports liveness, store size, and — when the server is
-// backed by a data directory — the durable store's shape.
+// HealthResponse reports liveness, store size, and — when attached —
+// the durable store's shape and the score cache's effectiveness.
 type HealthResponse struct {
 	Status  string `json:"status"`
 	Records int    `json:"records"`
 	// Persistence is nil for a memory-only server.
 	Persistence *persist.Status `json:"persistence,omitempty"`
+	// Cache is nil when no score cache is attached.
+	Cache *scorecache.Stats `json:"cache,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -124,7 +167,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		st := s.persist.Status()
 		resp.Persistence = &st
 	}
-	writeJSON(w, resp)
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = &st
+	}
+	s.writeJSON(w, resp)
 }
 
 // SnapshotResponse wraps the snapshot a POST /v1/snapshot produced.
@@ -144,14 +191,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.log.Info("snapshot", "path", info.Path, "records", info.Records, "wal_offset", info.WALOffset)
-	writeJSON(w, SnapshotResponse{Snapshot: info})
+	s.writeJSON(w, SnapshotResponse{Snapshot: info})
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.cfg.WriteJSON(w); err != nil {
+	// Buffer-first for the same reason as writeJSON: an encode failure
+	// must surface as a 500, not a truncated 200.
+	var buf bytes.Buffer
+	if err := s.cfg.WriteJSON(&buf); err != nil {
 		s.log.Error("writing config", "err", err)
+		writeError(w, http.StatusInternalServerError, "encoding config failed")
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 // RegionInfo is one row of /v1/regions.
@@ -169,7 +222,12 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 	// Non-nil so an empty region set encodes as [] rather than null.
 	out := make([]RegionInfo, 0, len(regions))
 	for _, code := range regions {
-		reg, _ := s.db.Region(code)
+		reg, ok := s.db.Region(code)
+		if !ok {
+			// A dangling code would otherwise panic or emit a zero row.
+			s.log.Error("regions: code without a region; skipping", "code", code)
+			continue
+		}
 		out = append(out, RegionInfo{
 			Code:       reg.Code,
 			Name:       reg.Name,
@@ -179,13 +237,28 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 			Parent:     reg.Parent,
 		})
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // ScoreResponse wraps a region's score.
 type ScoreResponse struct {
 	Region string    `json:"region"`
 	Score  iqb.Score `json:"score"`
+}
+
+// timeBound parses an optional RFC 3339 query parameter; ok is false
+// (and a 400 already written) when the value does not parse.
+func (s *Server) timeBound(w http.ResponseWriter, r *http.Request, name string) (time.Time, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return time.Time{}, true
+	}
+	t, err := time.Parse(time.RFC3339, raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s %q: want RFC 3339, e.g. 2025-06-01T00:00:00Z", name, raw))
+		return time.Time{}, false
+	}
+	return t, true
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -198,7 +271,21 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown region %q", region))
 		return
 	}
-	score, err := s.cfg.ScoreRegion(s.store, region, time.Time{}, time.Time{})
+	// Optional [from, to) window; both bounds default to unbounded. The
+	// old handler accepted and silently dropped these.
+	from, ok := s.timeBound(w, r, "from")
+	if !ok {
+		return
+	}
+	to, ok := s.timeBound(w, r, "to")
+	if !ok {
+		return
+	}
+	if !from.IsZero() && !to.IsZero() && !from.Before(to) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("empty window: from %s is not before to %s", from.Format(time.RFC3339), to.Format(time.RFC3339)))
+		return
+	}
+	score, err := s.scoreRegion(region, from, to)
 	if err != nil {
 		if errors.Is(err, iqb.ErrNoUsableData) {
 			writeError(w, http.StatusNotFound, fmt.Sprintf("no usable data for region %q", region))
@@ -208,7 +295,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "scoring failed")
 		return
 	}
-	writeJSON(w, ScoreResponse{Region: region, Score: score})
+	s.writeJSON(w, ScoreResponse{Region: region, Score: score})
 }
 
 // RankingRow is one row of /v1/ranking.
@@ -220,44 +307,65 @@ type RankingRow struct {
 	Grade     string  `json:"grade"`
 }
 
+// RankingResponse is the /v1/ranking envelope. Omitted counts counties
+// whose scoring failed outright this request (they are logged and
+// skipped rather than taking the whole ranking down); counties with no
+// usable data are simply absent and not counted.
+type RankingResponse struct {
+	// Rows is non-nil so an empty ranking encodes as [].
+	Rows    []RankingRow `json:"rows"`
+	Omitted int          `json:"omitted"`
+}
+
 func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
-	type scored struct {
-		code      string
-		character string
-		score     iqb.Score
-	}
-	var rows []scored
-	for _, code := range s.db.Regions(geo.County) {
-		reg, _ := s.db.Region(code)
-		sc, err := s.cfg.ScoreRegion(s.store, code, time.Time{}, time.Time{})
-		if err != nil {
-			if errors.Is(err, iqb.ErrNoUsableData) {
+	counties := s.db.Regions(geo.County)
+	var (
+		ranked  []scorecache.Ranked
+		omitted int
+	)
+	if s.cache != nil && s.scoreOverride == nil {
+		// Served from the incrementally repaired sorted view: only
+		// counties invalidated since the last request are rescored.
+		ranked, omitted = s.cache.Ranking(counties)
+	} else {
+		for _, code := range counties {
+			sc, err := s.scoreRegion(code, time.Time{}, time.Time{})
+			if err != nil {
+				if errors.Is(err, iqb.ErrNoUsableData) {
+					continue
+				}
+				// One failing region no longer 500s the whole ranking.
+				s.log.Error("ranking: scoring region failed; omitting", "region", code, "err", err)
+				omitted++
 				continue
 			}
-			s.log.Error("ranking", "region", code, "err", err)
-			writeError(w, http.StatusInternalServerError, "scoring failed")
-			return
+			ranked = append(ranked, scorecache.Ranked{Region: code, Score: sc})
 		}
-		rows = append(rows, scored{code, reg.Character.String(), sc})
+		// Descending score, ties broken by code ascending — the same
+		// order the cached view maintains.
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Score.IQB != ranked[j].Score.IQB {
+				return ranked[i].Score.IQB > ranked[j].Score.IQB
+			}
+			return ranked[i].Region < ranked[j].Region
+		})
 	}
-	// Descending score, ties broken by code ascending.
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].score.IQB != rows[j].score.IQB {
-			return rows[i].score.IQB > rows[j].score.IQB
+	rows := make([]RankingRow, 0, len(ranked))
+	for _, row := range ranked {
+		reg, ok := s.db.Region(row.Region)
+		if !ok {
+			s.log.Error("ranking: code without a region; skipping", "code", row.Region)
+			continue
 		}
-		return rows[i].code < rows[j].code
-	})
-	out := make([]RankingRow, len(rows))
-	for i, row := range rows {
-		out[i] = RankingRow{
-			Rank:      i + 1,
-			Region:    row.code,
-			Character: row.character,
-			IQB:       row.score.IQB,
-			Grade:     string(row.score.Grade),
-		}
+		rows = append(rows, RankingRow{
+			Rank:      len(rows) + 1,
+			Region:    row.Region,
+			Character: reg.Character.String(),
+			IQB:       row.Score.IQB,
+			Grade:     string(row.Score.Grade),
+		})
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, RankingResponse{Rows: rows, Omitted: omitted})
 }
 
 // DatasetCount is one row of /v1/datasets.
@@ -279,5 +387,5 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	for _, name := range names {
 		out = append(out, DatasetCount{Name: name, Records: counts[name]})
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }

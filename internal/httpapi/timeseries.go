@@ -58,7 +58,7 @@ func (s *Server) handleTimeSeries(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "time series failed")
 		return
 	}
-	writeJSON(w, TimeSeriesResponse{Region: region, Window: window.String(), Points: points})
+	s.writeJSON(w, TimeSeriesResponse{Region: region, Window: window.String(), Points: points})
 }
 
 // HourlyResponse wraps an hour-of-day score profile.
@@ -97,7 +97,7 @@ func (s *Server) handleHourly(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, HourlyResponse{Region: region, Band: band, Buckets: buckets})
+	s.writeJSON(w, HourlyResponse{Region: region, Band: band, Buckets: buckets})
 }
 
 // TimeSeries fetches a region's windowed score series.

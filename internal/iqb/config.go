@@ -1,6 +1,9 @@
 package iqb
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -158,6 +161,20 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Hash returns a stable fingerprint of the configuration: two configs
+// that would score identically hash identically. It is derived from the
+// canonical JSON form (encoding/json sorts map keys), so it survives
+// process restarts — cache keys built from it stay comparable across
+// runs. The value is a truncated hex SHA-256.
+func (c Config) Hash() (string, error) {
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		return "", fmt.Errorf("iqb: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:8]), nil
 }
 
 // effectivePercentile returns the percentile to use for requirement r

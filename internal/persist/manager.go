@@ -62,9 +62,10 @@ type Status struct {
 // the store's ingest hook, and cuts snapshots (compacting covered WAL
 // segments) on demand. Safe for concurrent use.
 type Manager struct {
-	dir   string
-	log   *Log
-	store *dataset.Store
+	dir        string
+	log        *Log
+	store      *dataset.Store
+	removeHook func() // deregisters the WAL tee from the store's hook chain
 
 	// snapMu serializes snapshots; mu guards only the status fields,
 	// so Status never waits behind a snapshot's file I/O.
@@ -133,7 +134,10 @@ func Open(dir string, o Options) (*Manager, error) {
 		return nil, fmt.Errorf("persist: replaying WAL: %w", err)
 	}
 	// Only now install the tee: replayed batches must not be re-logged.
-	store.SetIngestHook(log.Append)
+	// The tee joins the store's ordered hook chain, so other observers
+	// (e.g. a scored-region cache) can coexist with the WAL on the same
+	// store.
+	m.removeHook = store.AddIngestHook(log.Append)
 	rec.Elapsed = time.Since(started)
 	m.recovery = rec
 	return m, nil
@@ -232,9 +236,10 @@ func (m *Manager) Meta() (map[string]string, error) {
 	return meta, nil
 }
 
-// Close detaches the ingest hook and closes the WAL. The store remains
-// usable in memory; further writes are no longer persisted.
+// Close detaches the WAL tee from the store's hook chain and closes the
+// WAL. The store remains usable in memory; further writes are no longer
+// persisted. Other hook-chain observers are untouched.
 func (m *Manager) Close() error {
-	m.store.SetIngestHook(nil)
+	m.removeHook()
 	return m.log.Close()
 }

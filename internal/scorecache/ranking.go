@@ -1,0 +1,118 @@
+package scorecache
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"iqb/internal/iqb"
+)
+
+// Ranked is one row of the cached county ranking, best-first.
+type Ranked struct {
+	Region string
+	Score  iqb.Score
+}
+
+// rankRow is the view's record of one county.
+type rankRow struct {
+	code  string
+	score iqb.Score
+	// ver is the county's invalidation version the score is valid at;
+	// valid is false when the score was computed while ingestion was in
+	// flight and must be recomputed on the next request.
+	ver    uint64
+	valid  bool
+	noData bool
+	ranked bool // present in the sorted slice
+}
+
+// rowLess is the ranking order: IQB descending, ties by code ascending —
+// identical to the uncached handler's sort, so cached and uncached
+// rankings are byte-identical.
+func rowLess(aIQB float64, aCode string, bIQB float64, bCode string) bool {
+	if aIQB != bIQB {
+		return aIQB > bIQB
+	}
+	return aCode < bCode
+}
+
+// rankPos returns the sorted-slice position of (iqb, code): the index
+// of the first row that does not order before it.
+func (c *Cache) rankPos(iqb float64, code string) int {
+	return sort.Search(len(c.ranked), func(i int) bool {
+		r := c.ranked[i]
+		return !rowLess(r.score.IQB, r.code, iqb, code)
+	})
+}
+
+// removeRanked drops a row from the sorted slice.
+func (c *Cache) removeRanked(row *rankRow) {
+	if !row.ranked {
+		return
+	}
+	i := c.rankPos(row.score.IQB, row.code)
+	for i < len(c.ranked) && c.ranked[i] != row {
+		i++ // equal-key neighbors; walk to the exact row
+	}
+	if i < len(c.ranked) {
+		c.ranked = append(c.ranked[:i], c.ranked[i+1:]...)
+	}
+	row.ranked = false
+}
+
+// insertRanked places a row at its sorted position.
+func (c *Cache) insertRanked(row *rankRow) {
+	i := c.rankPos(row.score.IQB, row.code)
+	c.ranked = append(c.ranked, nil)
+	copy(c.ranked[i+1:], c.ranked[i:])
+	c.ranked[i] = row
+	row.ranked = true
+}
+
+// Ranking returns the counties ranked best-first over the unbounded
+// time window, repairing only the rows whose regions were invalidated
+// since the last call: each dirty county is rescored (through the score
+// cache, so concurrent callers collapse into one computation) and moved
+// to its new sorted position. Counties with no usable data are left
+// out; counties whose scoring failed outright are skipped, logged, and
+// counted in omitted, so one bad region no longer takes the whole
+// ranking down.
+func (c *Cache) Ranking(counties []string) (rows []Ranked, omitted int) {
+	c.rankMu.Lock()
+	defer c.rankMu.Unlock()
+	for _, code := range counties {
+		row := c.rankRow[code]
+		if row != nil && row.valid && row.ver == c.regionVer(code) {
+			continue
+		}
+		res, _ := c.get(code, time.Time{}, time.Time{})
+		if row != nil {
+			c.removeRanked(row)
+		}
+		c.mu.Lock()
+		c.stats.RankingRepairs++
+		c.mu.Unlock()
+		if res.err != nil && !errors.Is(res.err, iqb.ErrNoUsableData) {
+			// Skip-and-log: drop the row so the county is retried on the
+			// next request, and let the rest of the ranking stand.
+			delete(c.rankRow, code)
+			c.log.Error("ranking: scoring region failed; omitting", "region", code, "err", res.err)
+			omitted++
+			continue
+		}
+		row = &rankRow{code: code, ver: res.ver, valid: res.clean}
+		if res.err != nil {
+			row.noData = true
+		} else {
+			row.score = res.score
+			c.insertRanked(row)
+		}
+		c.rankRow[code] = row
+	}
+	rows = make([]Ranked, len(c.ranked))
+	for i, r := range c.ranked {
+		rows[i] = Ranked{Region: r.code, Score: r.score}
+	}
+	return rows, omitted
+}

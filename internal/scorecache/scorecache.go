@@ -1,0 +1,468 @@
+// Package scorecache caches per-region iqb.Score results computed from
+// a dataset.Store, invalidating them precisely when ingestion commits
+// new records — the read-path twin of internal/persist's write-path
+// durability.
+//
+// # Keying and invalidation
+//
+// Entries are keyed by (region, from, to, config hash). Every committed
+// batch bumps an invalidation version for each region code it touched
+// and for every hierarchical ancestor of those codes ("XA-01-002" also
+// invalidates "XA-01" and "XA", whose subtree scores depend on it), and
+// evicts exactly the cached windows that contain at least one of the
+// batch's record timestamps. Cached scores for untouched siblings and
+// for time windows the batch cannot affect survive.
+//
+// # Consistency
+//
+// The cache subscribes to the store's ordered hook chain (so it coexists
+// with the persistence layer's WAL tee): the Ingest phase marks the
+// touched regions in-flight before any shard is mutated, and the Commit
+// phase — which the store fires only after the whole batch is visible —
+// clears the mark, bumps the versions, and evicts. A score computed
+// while any overlapping batch was in flight, or across a version change,
+// is served to its requester but never retained, so a cache hit is
+// always a score of a fully applied record multiset. Concurrent cold
+// misses for one key are collapsed into a single computation.
+//
+// # Ranking
+//
+// The cache also maintains the county ranking as an incrementally
+// repaired sorted view: an invalidated county is rescored and moved to
+// its new position; everything else keeps its cached score and slot.
+package scorecache
+
+import (
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+
+	"iqb/internal/dataset"
+	"iqb/internal/iqb"
+)
+
+// errScorePanic is what flight followers observe when the computation
+// they joined panicked; the panic itself propagates to the leader's
+// caller.
+var errScorePanic = errors.New("scorecache: scoring panicked")
+
+// Outcome says how a Score call was served.
+type Outcome int
+
+// Score outcomes.
+const (
+	// Hit served a retained entry.
+	Hit Outcome = iota
+	// Miss computed the score and retained it.
+	Miss
+	// MissUncacheable computed the score while an overlapping batch was
+	// in flight (or committed mid-computation); the result was served
+	// but not retained.
+	MissUncacheable
+	// SharedFlight joined another caller's in-progress computation.
+	SharedFlight
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case MissUncacheable:
+		return "miss-uncacheable"
+	case SharedFlight:
+		return "shared-flight"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is a point-in-time view of cache effectiveness, shaped for the
+// /v1/health endpoint.
+type Stats struct {
+	// Entries is the number of retained scores.
+	Entries int `json:"entries"`
+	// Hits and Misses count Score calls served from / computed into the
+	// cache; Uncacheable counts computations that could not be retained
+	// because ingestion was in flight.
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Uncacheable uint64 `json:"uncacheable"`
+	// SharedFlights counts calls that joined a concurrent computation
+	// instead of starting their own.
+	SharedFlights uint64 `json:"shared_flights"`
+	// Invalidations counts committed batches observed; Evictions counts
+	// entries they dropped.
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+	// RankingRepairs counts county rows rescored and re-sorted in the
+	// incremental ranking view.
+	RankingRepairs uint64 `json:"ranking_repairs"`
+	// ConfigHash identifies the scoring configuration the entries were
+	// computed under.
+	ConfigHash string `json:"config_hash"`
+}
+
+// DefaultMaxEntries caps retained scores. Unbounded-window entries are
+// bounded by the region count, but from/to are client-controlled on
+// /v1/score, so distinct windows could otherwise grow the cache without
+// limit.
+const DefaultMaxEntries = 1 << 16
+
+// key identifies one cached score. Zero from/to bounds are encoded via
+// the *Zero flags so the zero time and the Unix epoch cannot collide.
+type key struct {
+	region           string
+	fromZero, toZero bool
+	fromNS, toNS     int64
+	cfg              string
+}
+
+func boundNS(t time.Time) (bool, int64) {
+	if t.IsZero() {
+		return true, 0
+	}
+	return false, t.UnixNano()
+}
+
+// entry is one retained score (or its deterministic no-data error).
+type entry struct {
+	score  iqb.Score
+	err    error
+	noData bool
+}
+
+// flight is one in-progress computation other callers can join.
+type flight struct {
+	done chan struct{}
+	res  result
+}
+
+// result carries a computed score plus the bookkeeping the ranking view
+// needs: the region version it is valid at and whether it was retained
+// (computed from a fully applied record multiset).
+type result struct {
+	score iqb.Score
+	err   error
+	ver   uint64
+	clean bool
+}
+
+// Cache is a versioned scored-region cache bound to one store and one
+// scoring configuration. Create with New, detach with Close. Safe for
+// concurrent use. Cached iqb.Score values are shared between callers
+// and must be treated as immutable.
+type Cache struct {
+	store   *dataset.Store
+	cfg     iqb.Config
+	cfgHash string
+	log     *slog.Logger
+	remove  func() // deregisters the hook-chain observer
+
+	// scoreFn computes an uncached score; tests substitute it to count
+	// or fail computations. Defaults to cfg.ScoreRegion.
+	scoreFn func(region string, from, to time.Time) (iqb.Score, error)
+
+	mu         sync.Mutex
+	maxEntries int
+	entries    map[key]*entry
+	byRegion   map[string]map[key]struct{} // region -> its keys, for eviction
+	ver        map[string]uint64           // region (incl. ancestors) -> commit version
+	pending    map[string]int              // region (incl. ancestors) -> in-flight batches
+	flights    map[key]*flight
+	stats      Stats
+
+	// rankMu serializes ranking repairs; it is acquired before mu and
+	// never the other way around.
+	rankMu  sync.Mutex
+	rankRow map[string]*rankRow
+	ranked  []*rankRow // sorted: IQB descending, ties by code ascending
+}
+
+// New builds a cache over store scored with cfg and registers it on the
+// store's hook chain. The logger may be nil.
+func New(store *dataset.Store, cfg iqb.Config, logger *slog.Logger) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := cfg.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	c := &Cache{
+		store:      store,
+		cfg:        cfg,
+		cfgHash:    hash,
+		log:        logger,
+		maxEntries: DefaultMaxEntries,
+		entries:    map[key]*entry{},
+		byRegion:   map[string]map[key]struct{}{},
+		ver:        map[string]uint64{},
+		pending:    map[string]int{},
+		flights:    map[key]*flight{},
+		rankRow:    map[string]*rankRow{},
+	}
+	c.stats.ConfigHash = hash
+	c.scoreFn = func(region string, from, to time.Time) (iqb.Score, error) {
+		return cfg.ScoreRegion(store, region, from, to)
+	}
+	c.remove = store.AddHooks(dataset.Hooks{
+		Ingest: c.onIngest,
+		Commit: c.onCommit,
+		Abort:  c.onAbort,
+	})
+	return c, nil
+}
+
+// Close detaches the cache from the store's hook chain. The cache stops
+// observing ingestion and must not be used afterwards.
+func (c *Cache) Close() { c.remove() }
+
+// ConfigHash identifies the scoring configuration behind every entry.
+func (c *Cache) ConfigHash() string { return c.cfgHash }
+
+// ancestorsAndSelf expands a hierarchical region code into itself plus
+// every ancestor prefix: "XA-01-002" -> XA-01-002, XA-01, XA. A batch
+// touching a county invalidates every subtree score above it.
+func ancestorsAndSelf(code string, visit func(string)) {
+	visit(code)
+	for {
+		i := strings.LastIndexByte(code, '-')
+		if i < 0 {
+			return
+		}
+		code = code[:i]
+		visit(code)
+	}
+}
+
+// timeRange is the record-timestamp span a batch contributed to one
+// region (including via descendants).
+type timeRange struct {
+	min, max time.Time
+}
+
+// touchedRegions maps every region a batch affects — each record's code
+// and all its ancestors — to the batch's timestamp span there.
+func touchedRegions(rs []dataset.Record) map[string]timeRange {
+	out := make(map[string]timeRange)
+	for _, r := range rs {
+		ancestorsAndSelf(r.Region, func(code string) {
+			tr, ok := out[code]
+			if !ok {
+				out[code] = timeRange{min: r.Time, max: r.Time}
+				return
+			}
+			if r.Time.Before(tr.min) {
+				tr.min = r.Time
+			}
+			if r.Time.After(tr.max) {
+				tr.max = r.Time
+			}
+			out[code] = tr
+		})
+	}
+	return out
+}
+
+// windowTouches reports whether a cached [from, to) window (zero bounds
+// unbounded) contains any instant of the batch's span in that region.
+func windowTouches(k key, tr timeRange) bool {
+	if !k.fromZero && tr.max.UnixNano() < k.fromNS {
+		return false
+	}
+	if !k.toZero && tr.min.UnixNano() >= k.toNS {
+		return false
+	}
+	return true
+}
+
+// onIngest marks the touched regions in flight before any shard is
+// mutated; scores computed from here on cannot be retained until the
+// batch commits or aborts. It never vetoes.
+func (c *Cache) onIngest(rs []dataset.Record) error {
+	c.mu.Lock()
+	for code := range touchedRegions(rs) {
+		c.pending[code]++
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// onAbort unwinds onIngest for a batch a later hook vetoed.
+func (c *Cache) onAbort(rs []dataset.Record) {
+	c.mu.Lock()
+	c.decPending(rs)
+	c.mu.Unlock()
+}
+
+func (c *Cache) decPending(rs []dataset.Record) {
+	for code := range touchedRegions(rs) {
+		if c.pending[code]--; c.pending[code] <= 0 {
+			delete(c.pending, code)
+		}
+	}
+}
+
+// onCommit fires once the batch is fully visible in the shards: clear
+// the in-flight marks, bump each touched region's version, and evict
+// exactly the cached windows the batch's timestamps fall into.
+func (c *Cache) onCommit(rs []dataset.Record) {
+	touched := touchedRegions(rs)
+	c.mu.Lock()
+	c.stats.Invalidations++
+	for code, tr := range touched {
+		if c.pending[code]--; c.pending[code] <= 0 {
+			delete(c.pending, code)
+		}
+		c.ver[code]++
+		for k := range c.byRegion[code] {
+			if windowTouches(k, tr) {
+				delete(c.entries, k)
+				delete(c.byRegion[code], k)
+				c.stats.Evictions++
+			}
+		}
+		if len(c.byRegion[code]) == 0 {
+			delete(c.byRegion, code)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Score returns the region subtree's score for the [from, to) window
+// (zero bounds unbounded), from cache when possible. The error is
+// iqb.ErrNoUsableData-compatible exactly as Config.ScoreRegion's is.
+func (c *Cache) Score(region string, from, to time.Time) (iqb.Score, Outcome, error) {
+	res, out := c.get(region, from, to)
+	return res.score, out, res.err
+}
+
+// get is Score plus the version/cleanliness bookkeeping Ranking needs.
+func (c *Cache) get(region string, from, to time.Time) (result, Outcome) {
+	k := key{region: region, cfg: c.cfgHash}
+	k.fromZero, k.fromNS = boundNS(from)
+	k.toZero, k.toNS = boundNS(to)
+
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		res := result{score: e.score, err: e.err, ver: c.ver[region], clean: true}
+		c.stats.Hits++
+		c.mu.Unlock()
+		return res, Hit
+	}
+	if f, ok := c.flights[k]; ok {
+		c.stats.SharedFlights++
+		c.mu.Unlock()
+		<-f.done
+		return f.res, SharedFlight
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	v0 := c.ver[region]
+	clean0 := c.pending[region] == 0
+	c.mu.Unlock()
+
+	// The flight must resolve even if scoring panics (the HTTP layer
+	// recovers panics, so the process lives on): otherwise the key —
+	// and, through the ranking view's lock, every future ranking —
+	// would block forever on a done channel nobody closes.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		c.mu.Lock()
+		delete(c.flights, k)
+		c.stats.Misses++
+		c.stats.Uncacheable++
+		c.mu.Unlock()
+		f.res = result{err: errScorePanic, ver: v0}
+		close(f.done)
+	}()
+	score, err := c.scoreFn(region, from, to)
+	completed = true
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	noData := errors.Is(err, iqb.ErrNoUsableData)
+	// Retain only scores provably computed from a fully applied record
+	// multiset: no overlapping batch in flight when the computation
+	// started or finished, and no commit in between. Deterministic
+	// no-data outcomes are retained too (they spare the ranking view a
+	// rescore of empty counties); other errors are never retained.
+	cacheable := clean0 && c.pending[region] == 0 && c.ver[region] == v0 &&
+		(err == nil || noData)
+	out := MissUncacheable
+	c.stats.Misses++
+	if cacheable {
+		if len(c.entries) >= c.maxEntries {
+			c.evictForSpaceLocked()
+		}
+		c.entries[k] = &entry{score: score, err: err, noData: noData}
+		if c.byRegion[region] == nil {
+			c.byRegion[region] = map[key]struct{}{}
+		}
+		c.byRegion[region][k] = struct{}{}
+		out = Miss
+	} else {
+		c.stats.Uncacheable++
+	}
+	f.res = result{score: score, err: err, ver: v0, clean: cacheable}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, out
+}
+
+// evictForSpaceLocked drops one entry to make room at the cap,
+// preferring a windowed entry: their key space is client-controlled
+// (from/to on /v1/score) and therefore unbounded, while
+// unbounded-window entries back the ranking view and number at most one
+// per region. Map iteration order makes the victim effectively random.
+// Callers hold c.mu.
+func (c *Cache) evictForSpaceLocked() {
+	var victim *key
+	for k := range c.entries {
+		k := k
+		if !k.fromZero || !k.toZero {
+			victim = &k
+			break
+		}
+		if victim == nil {
+			victim = &k
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(c.entries, *victim)
+	if br := c.byRegion[victim.region]; br != nil {
+		delete(br, *victim)
+		if len(br) == 0 {
+			delete(c.byRegion, victim.region)
+		}
+	}
+	c.stats.Evictions++
+}
+
+// Stats snapshots cache effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+func (c *Cache) regionVer(code string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ver[code]
+}
