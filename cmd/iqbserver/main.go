@@ -4,7 +4,8 @@
 // Usage:
 //
 //	iqbserver [-addr 127.0.0.1:8600] [-seed 42] [-tests 120]
-//	          [-data-dir DIR] [-snapshot-interval 5m] [-wal-segment-bytes N]
+//	          [-data-dir DIR] [-snapshot-interval 5m] [-snapshot-wal-bytes N]
+//	          [-wal-segment-bytes N] [-wal-group-window D]
 //	          [-score-cache=true] [-cache-stats 0]
 //
 // Endpoints: /v1/health /v1/config /v1/regions /v1/score?region=R
@@ -21,6 +22,20 @@
 // recorded in the data dir (which overrides -seed). A background
 // snapshotter cuts a fresh snapshot every -snapshot-interval (0
 // disables it) and compacts WAL segments the snapshot covers.
+//
+// Concurrent WAL appends group-commit: frames queued during the
+// in-flight fsync coalesce into one shared write+sync, so parallel
+// ingestion pays far fewer fsyncs than batches. -wal-group-window D
+// holds each commit open for D longer to collect more writers (0, the
+// default, coalesces only natural pileups; a negative value disables
+// group commit entirely and restores the serial fsync-per-batch path).
+//
+// Snapshots also trigger on WAL growth: with -snapshot-wal-bytes N > 0,
+// the background snapshotter cuts a snapshot as soon as the WAL holds
+// N bytes not covered by the latest one — bounding how much replay a
+// recovery can owe under heavy ingest, independent of the wall clock.
+// /v1/health's persistence block reports the bytes and records
+// accumulated since the last snapshot so the trigger is observable.
 //
 // By default the server answers /v1/score and /v1/ranking from a
 // scored-region cache invalidated precisely by ingest: the cache joins
@@ -65,6 +80,26 @@ func main() {
 type bootOptions struct {
 	dataDir      string
 	segmentBytes int64
+	// groupWindow widens WAL group commits; negative disables group
+	// commit (serial fsync per batch).
+	groupWindow time.Duration
+	// snapshotWALBytes arms the WAL-growth snapshot trigger (0 off).
+	snapshotWALBytes int64
+}
+
+// persistOptions translates boot flags into the durable store's
+// options.
+func (o bootOptions) persistOptions() persist.Options {
+	po := persist.Options{
+		SegmentBytes:     o.segmentBytes,
+		SnapshotWALBytes: o.snapshotWALBytes,
+	}
+	if o.groupWindow < 0 {
+		po.NoGroupCommit = true
+	} else {
+		po.GroupWindow = o.groupWindow
+	}
+	return po
 }
 
 // world is everything a boot produces: the queryable store, the
@@ -95,7 +130,7 @@ func openWorld(logger *slog.Logger, spec pipeline.Spec, opts bootOptions) (*worl
 		return &world{store: res.Store, db: res.World.DB}, nil
 	}
 
-	mgr, err := persist.Open(opts.dataDir, persist.Options{SegmentBytes: opts.segmentBytes})
+	mgr, err := persist.Open(opts.dataDir, opts.persistOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -190,22 +225,57 @@ func cacheStatsLoop(ctx context.Context, logger *slog.Logger, cache *scorecache.
 	}
 }
 
-// snapshotLoop cuts periodic snapshots until ctx is done.
+// snapshotLoop cuts background snapshots until ctx is done, on two
+// independent triggers: the wall-clock ticker (when every > 0) and the
+// manager's WAL-growth signal (-snapshot-wal-bytes; never fires when
+// disabled). The growth path re-checks the threshold via
+// SnapshotIfGrown, so a signal raced by a wall-clock snapshot that
+// already covered the growth becomes a no-op instead of a redundant
+// full-store snapshot.
 func snapshotLoop(ctx context.Context, logger *slog.Logger, mgr *persist.Manager, every time.Duration) {
-	t := time.NewTicker(every)
-	defer t.Stop()
+	var tick <-chan time.Time
+	if every > 0 {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		tick = t.C
+	}
+	// Receiving from GrowthC consumes the (coalesced) signal, so a
+	// growth snapshot that fails transiently must be retried by the
+	// loop itself — idle ingest would otherwise never re-signal and the
+	// replay debt would stay over the threshold indefinitely. The retry
+	// re-checks through SnapshotIfGrown, so it dies out as soon as any
+	// snapshot (ours or a wall-clock one) covers the growth.
+	var retry <-chan time.Time
+	onGrowth := func() {
+		info, cut, err := mgr.SnapshotIfGrown()
+		if err != nil {
+			logger.Error("background snapshot failed", "trigger", "wal-growth", "err", err)
+			retry = time.After(5 * time.Second)
+			return
+		}
+		retry = nil
+		if !cut {
+			return
+		}
+		logger.Info("background snapshot", "trigger", "wal-growth", "path", info.Path,
+			"records", info.Records, "wal_offset", info.WALOffset, "bytes", info.Bytes)
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-tick:
 			info, err := mgr.Snapshot()
 			if err != nil {
-				logger.Error("background snapshot failed", "err", err)
+				logger.Error("background snapshot failed", "trigger", "interval", "err", err)
 				continue
 			}
-			logger.Info("background snapshot", "path", info.Path, "records", info.Records,
-				"wal_offset", info.WALOffset, "bytes", info.Bytes)
+			logger.Info("background snapshot", "trigger", "interval", "path", info.Path,
+				"records", info.Records, "wal_offset", info.WALOffset, "bytes", info.Bytes)
+		case <-mgr.GrowthC():
+			onGrowth()
+		case <-retry:
+			onGrowth()
 		}
 	}
 }
@@ -217,7 +287,9 @@ func run(args []string) error {
 	tests := fs.Int("tests", 120, "tests per county per dataset")
 	dataDir := fs.String("data-dir", "", "durable store directory; empty serves memory-only")
 	snapEvery := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (0 disables)")
+	snapWALBytes := fs.Int64("snapshot-wal-bytes", 0, "also snapshot once this many WAL bytes accumulate past the last snapshot (0 disables the growth trigger)")
 	segBytes := fs.Int64("wal-segment-bytes", persist.DefaultSegmentBytes, "WAL segment rotation threshold")
+	groupWindow := fs.Duration("wal-group-window", 0, "extra time a WAL group commit waits for more writers before its shared fsync (0 coalesces only natural pileups; negative disables group commit)")
 	useCache := fs.Bool("score-cache", true, "serve /v1/score and /v1/ranking from the ingest-invalidated score cache")
 	cacheStats := fs.Duration("cache-stats", 0, "score-cache stats logging period (0 disables)")
 	if err := fs.Parse(args); err != nil {
@@ -228,7 +300,12 @@ func run(args []string) error {
 	spec := pipeline.DefaultSpec()
 	spec.Seed = *seed
 	spec.TestsPerCounty = *tests
-	w, err := openWorld(logger, spec, bootOptions{dataDir: *dataDir, segmentBytes: *segBytes})
+	w, err := openWorld(logger, spec, bootOptions{
+		dataDir:          *dataDir,
+		segmentBytes:     *segBytes,
+		groupWindow:      *groupWindow,
+		snapshotWALBytes: *snapWALBytes,
+	})
 	if err != nil {
 		return err
 	}
@@ -243,7 +320,7 @@ func run(args []string) error {
 	if w.mgr != nil {
 		api.SetPersistence(w.mgr)
 		defer w.mgr.Close()
-		if *snapEvery > 0 {
+		if *snapEvery > 0 || *snapWALBytes > 0 {
 			go snapshotLoop(ctx, logger, w.mgr, *snapEvery)
 		}
 	}

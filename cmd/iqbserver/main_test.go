@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"os"
@@ -169,6 +171,65 @@ func TestKillAndRestartRecoversBitIdentical(t *testing.T) {
 	}
 	if got := scoreFingerprint(t, w3); got != want2 {
 		t.Fatal("third boot scores differ")
+	}
+}
+
+// TestSnapshotFiresOnWALGrowthAlone pins the -snapshot-wal-bytes
+// trigger: with the wall-clock interval disabled entirely, ingesting
+// past the growth threshold must make the background loop cut a
+// snapshot — growth is a first-class trigger, not a refinement of the
+// timer.
+func TestSnapshotFiresOnWALGrowthAlone(t *testing.T) {
+	dir := t.TempDir()
+	const growBytes = 4096
+	w, err := openWorld(testLogger(), testSpec(), bootOptions{
+		dataDir:          dir,
+		snapshotWALBytes: growBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.mgr.Close()
+	base := w.mgr.Status().SnapshotOffset
+	if base == 0 {
+		t.Fatal("first boot cut no initial snapshot")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go snapshotLoop(ctx, testLogger(), w.mgr, 0) // no wall-clock ticker
+
+	// Ingest until the uncovered WAL crosses the threshold; the growth
+	// stats must be visible on the way (they feed /v1/health).
+	for i := 0; w.mgr.Status().WALSinceSnapshotBytes < growBytes; i++ {
+		rs := make([]dataset.Record, 8)
+		for j := range rs {
+			r := dataset.NewRecord(fmt.Sprintf("grow-%d-%d", i, j), "ndt", "XA-01-001",
+				time.Date(2025, 6, 3, 12, 0, 0, 0, time.UTC))
+			r.DownloadMbps = float64(30 + j)
+			rs[j] = r
+		}
+		if err := w.store.AddBatch(rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := w.mgr.Status()
+		if st.SnapshotOffset > base {
+			// The growth snapshot covered the backlog: the counters
+			// restart below the threshold.
+			if st.WALSinceSnapshotBytes >= growBytes {
+				t.Fatalf("since-snapshot bytes = %d after a growth snapshot, want < %d",
+					st.WALSinceSnapshotBytes, growBytes)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no snapshot fired from WAL growth alone; status %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

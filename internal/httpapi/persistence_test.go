@@ -55,6 +55,15 @@ func TestSnapshotEndpointAndHealthStatus(t *testing.T) {
 		t.Fatalf("health WAL records = %d, want %d", got, want)
 	}
 
+	// Before any snapshot, everything in the WAL is "since snapshot" —
+	// the growth trigger's view of the world must be observable here.
+	if got, want := health.Persistence.WALSinceSnapshotRecords, health.Persistence.WALRecords; got != want {
+		t.Fatalf("pre-snapshot since-snapshot records = %d, want all %d WAL records", got, want)
+	}
+	if health.Persistence.WALSinceSnapshotBytes <= 0 {
+		t.Fatal("pre-snapshot since-snapshot bytes not reported")
+	}
+
 	snap, err := c.Snapshot(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +80,27 @@ func TestSnapshotEndpointAndHealthStatus(t *testing.T) {
 	}
 	if got := health.Persistence.SnapshotOffset; got != snap.Snapshot.WALOffset {
 		t.Fatalf("health snapshot offset = %d, endpoint reported %d", got, snap.Snapshot.WALOffset)
+	}
+	if got := health.Persistence.WALSinceSnapshotRecords; got != 0 {
+		t.Fatalf("since-snapshot records = %d right after a snapshot, want 0", got)
+	}
+
+	// New ingest shows up in the since-snapshot counters, so an
+	// operator (or the growth trigger) can see replay debt accumulate.
+	extra := memStore.Select(dataset.Filter{})[0]
+	extra.ID = "since-snapshot-probe"
+	if err := m.Store().Add(extra); err != nil {
+		t.Fatal(err)
+	}
+	health, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := health.Persistence.WALSinceSnapshotRecords; got != 1 {
+		t.Fatalf("since-snapshot records after one post-snapshot add = %d, want 1", got)
+	}
+	if health.Persistence.WALSinceSnapshotBytes <= 0 {
+		t.Fatal("since-snapshot bytes after post-snapshot add not reported")
 	}
 }
 

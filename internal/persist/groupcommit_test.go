@@ -1,0 +1,169 @@
+package persist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"iqb/internal/dataset"
+)
+
+// TestGroupCommitExactlyOnceFewerFsyncs drives N parallel writers
+// through the group-committed WAL and checks both sides of the
+// bargain: every acked batch is present exactly once after a reopen,
+// and the fsync count (observed by the injection layer) is strictly
+// less than the batch count — the syncs were genuinely shared.
+func TestGroupCommitExactlyOnceFewerFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	fs := newFaultFS()
+	l, err := OpenLog(dir, Options{GroupWindow: 2 * time.Millisecond, fs: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers   = 8
+		perWriter = 25
+		perBatch  = 2
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < perWriter; b++ {
+				if err := l.Append(walBatch(fmt.Sprintf("w%d-b%d", w, b), perBatch)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+
+	const batches = writers * perWriter
+	stats := l.Stats()
+	if stats.AppendedFrames != batches {
+		t.Fatalf("appended frames = %d, want %d", stats.AppendedFrames, batches)
+	}
+	if stats.Fsyncs >= batches {
+		t.Fatalf("log counted %d fsyncs for %d batches; group commit shared nothing", stats.Fsyncs, batches)
+	}
+	if stats.MaxGroupFrames < 2 {
+		t.Fatalf("max group size = %d, want >= 2 under %d parallel writers", stats.MaxGroupFrames, writers)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The injection layer sees every file sync — append groups plus
+	// segment bookkeeping — and even that total must be beaten by the
+	// batch count, or the coalescing isn't real.
+	if syncs := fs.fileSyncCount(); syncs >= batches {
+		t.Fatalf("%d file syncs for %d batches; want strictly fewer", syncs, batches)
+	}
+
+	// Exactly once: reopen and replay everything.
+	l2, err := OpenLog(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Offset(); got != batches*perBatch {
+		t.Fatalf("reopened offset = %d, want %d", got, batches*perBatch)
+	}
+	seen := map[string]int{}
+	if err := l2.Replay(0, func(rs []dataset.Record) error {
+		for _, r := range rs {
+			seen[r.ID]++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != batches*perBatch {
+		t.Fatalf("replay saw %d distinct records, want %d", len(seen), batches*perBatch)
+	}
+	for w := 0; w < writers; w++ {
+		for b := 0; b < perWriter; b++ {
+			for i := 0; i < perBatch; i++ {
+				id := fmt.Sprintf("w%d-b%d-%d", w, b, i)
+				if seen[id] != 1 {
+					t.Fatalf("record %s replayed %d times, want exactly once", id, seen[id])
+				}
+			}
+		}
+	}
+}
+
+// TestGroupCommitCloseFlushesQueuedAppends: writers already queued when
+// Close lands must get durable acks, not errors — Close drains the
+// committer, it does not strand it.
+func TestGroupCommitCloseFlushesQueuedAppends(t *testing.T) {
+	dir := t.TempDir()
+	// A wide window so appends are very likely still queued (the
+	// committer holding the group open) when Close arrives.
+	l, err := OpenLog(dir, Options{GroupWindow: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = l.Append(walBatch(fmt.Sprintf("q%d", i), 1))
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let the appends enqueue
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	acked := 0
+	for _, err := range errs {
+		if err == nil {
+			acked++
+		}
+	}
+	// Anything acked must be on disk; anything errored must be absent.
+	l2, err := OpenLog(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := int(l2.Offset()); got != acked {
+		t.Fatalf("reopened offset = %d, but %d appends were acked", got, acked)
+	}
+}
+
+// TestAppendAfterCloseFails covers both write paths' closed checks.
+func TestAppendAfterCloseFails(t *testing.T) {
+	for _, mode := range []string{"group", "serial"} {
+		t.Run(mode, func(t *testing.T) {
+			l, err := OpenLog(t.TempDir(), Options{NoGroupCommit: mode == "serial"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Append(walBatch("late", 1)); err == nil {
+				t.Fatal("append after Close succeeded")
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+		})
+	}
+}

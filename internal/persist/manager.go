@@ -47,14 +47,22 @@ func (r Recovery) HasData() bool {
 // Status is a point-in-time view of the durable store, shaped for the
 // /v1/health endpoint.
 type Status struct {
-	Dir             string    `json:"dir"`
-	WALRecords      uint64    `json:"wal_records"`
-	WALSegments     int       `json:"wal_segments"`
-	WALBytes        int64     `json:"wal_bytes"`
-	SnapshotOffset  uint64    `json:"snapshot_offset"`
-	SnapshotRecords int       `json:"snapshot_records"`
-	SnapshotAt      time.Time `json:"snapshot_at"`
-	Recovery        Recovery  `json:"recovery"`
+	Dir         string `json:"dir"`
+	WALRecords  uint64 `json:"wal_records"`
+	WALSegments int    `json:"wal_segments"`
+	WALBytes    int64  `json:"wal_bytes"`
+	// WALSinceSnapshotRecords and WALSinceSnapshotBytes measure WAL
+	// growth past the latest snapshot — the records a recovery would
+	// replay and the on-disk bytes it would read to do so (segment
+	// granularity). The WAL-growth snapshot trigger fires on the byte
+	// figure.
+	WALSinceSnapshotRecords uint64    `json:"wal_since_snapshot_records"`
+	WALSinceSnapshotBytes   int64     `json:"wal_since_snapshot_bytes"`
+	WALWrite                WALStats  `json:"wal_write"`
+	SnapshotOffset          uint64    `json:"snapshot_offset"`
+	SnapshotRecords         int       `json:"snapshot_records"`
+	SnapshotAt              time.Time `json:"snapshot_at"`
+	Recovery                Recovery  `json:"recovery"`
 }
 
 // Manager owns one data directory: it recovers a dataset store from
@@ -66,6 +74,11 @@ type Manager struct {
 	log        *Log
 	store      *dataset.Store
 	removeHook func() // deregisters the WAL tee from the store's hook chain
+
+	// growBytes arms the WAL-growth snapshot trigger; growthC carries
+	// its (coalesced) signals to whoever runs the snapshot loop.
+	growBytes int64
+	growthC   chan struct{}
 
 	// snapMu serializes snapshots; mu guards only the status fields,
 	// so Status never waits behind a snapshot's file I/O.
@@ -102,7 +115,8 @@ func Open(dir string, o Options) (*Manager, error) {
 	}
 
 	store := dataset.NewStoreWith(o.Store)
-	m := &Manager{dir: dir, log: log, store: store}
+	m := &Manager{dir: dir, log: log, store: store,
+		growBytes: o.SnapshotWALBytes, growthC: make(chan struct{}, 1)}
 	if hasSnap {
 		if err := store.AddBatch(rs); err != nil {
 			log.Close()
@@ -136,12 +150,51 @@ func Open(dir string, o Options) (*Manager, error) {
 	// Only now install the tee: replayed batches must not be re-logged.
 	// The tee joins the store's ordered hook chain, so other observers
 	// (e.g. a scored-region cache) can coexist with the WAL on the same
-	// store.
-	m.removeHook = store.AddIngestHook(log.Append)
+	// store. With the growth trigger armed, a commit-phase observer
+	// rides along: it fires after the batch is both durable and
+	// shard-visible, and only checks a couple of counters, so it adds
+	// nothing measurable to the write path.
+	hooks := dataset.Hooks{Ingest: log.Append}
+	if m.growBytes > 0 {
+		hooks.Commit = m.noteGrowth
+	}
+	m.removeHook = store.AddHooks(hooks)
+	if m.growBytes > 0 && m.log.SizePast(m.snapOffset) >= m.growBytes {
+		// The recovered dir already owes more replay than the
+		// threshold allows (e.g. a crash outran the snapshot loop):
+		// signal immediately so the loop snapshots soon after boot.
+		m.signalGrowth()
+	}
 	rec.Elapsed = time.Since(started)
 	m.recovery = rec
 	return m, nil
 }
+
+// noteGrowth is the commit-phase hook behind the WAL-growth snapshot
+// trigger: when the uncovered WAL crosses the configured threshold it
+// nudges growthC (non-blocking; signals coalesce).
+func (m *Manager) noteGrowth(rs []dataset.Record) {
+	m.mu.Lock()
+	off := m.snapOffset
+	m.mu.Unlock()
+	if m.log.SizePast(off) >= m.growBytes {
+		m.signalGrowth()
+	}
+}
+
+func (m *Manager) signalGrowth() {
+	select {
+	case m.growthC <- struct{}{}:
+	default:
+	}
+}
+
+// GrowthC delivers a signal each time the WAL grows past
+// Options.SnapshotWALBytes since the latest snapshot (coalesced; never
+// signaled when the trigger is disabled). Receivers should respond with
+// SnapshotIfGrown, which re-checks the condition so a raced wall-clock
+// snapshot does not cause a redundant one.
+func (m *Manager) GrowthC() <-chan struct{} { return m.growthC }
 
 // Store is the recovered, WAL-backed dataset store.
 func (m *Manager) Store() *dataset.Store { return m.store }
@@ -160,6 +213,32 @@ func (m *Manager) Recovery() Recovery {
 func (m *Manager) Snapshot() (SnapshotInfo, error) {
 	m.snapMu.Lock()
 	defer m.snapMu.Unlock()
+	return m.snapshotLocked()
+}
+
+// SnapshotIfGrown cuts a snapshot only if the WAL still exceeds the
+// growth threshold — the receiving end of GrowthC. Re-checking under
+// the snapshot lock means a signal that raced a wall-clock snapshot
+// (which already covered the growth) becomes a cheap no-op instead of
+// a redundant full-store snapshot. cut reports whether one was taken.
+func (m *Manager) SnapshotIfGrown() (info SnapshotInfo, cut bool, err error) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	if m.growBytes <= 0 {
+		return SnapshotInfo{}, false, nil
+	}
+	m.mu.Lock()
+	off := m.snapOffset
+	m.mu.Unlock()
+	if m.log.SizePast(off) < m.growBytes {
+		return SnapshotInfo{}, false, nil
+	}
+	info, err = m.snapshotLocked()
+	return info, err == nil, err
+}
+
+// snapshotLocked is the snapshot body; the caller holds snapMu.
+func (m *Manager) snapshotLocked() (SnapshotInfo, error) {
 	var (
 		rs  []dataset.Record
 		off uint64
@@ -187,15 +266,19 @@ func (m *Manager) Snapshot() (SnapshotInfo, error) {
 func (m *Manager) Status() Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	off := m.log.Offset()
 	return Status{
-		Dir:             m.dir,
-		WALRecords:      m.log.Offset(),
-		WALSegments:     m.log.Segments(),
-		WALBytes:        m.log.SizeBytes(),
-		SnapshotOffset:  m.snapOffset,
-		SnapshotRecords: m.snapRecords,
-		SnapshotAt:      m.snapAt,
-		Recovery:        m.recovery,
+		Dir:                     m.dir,
+		WALRecords:              off,
+		WALSegments:             m.log.Segments(),
+		WALBytes:                m.log.SizeBytes(),
+		WALSinceSnapshotRecords: off - m.snapOffset,
+		WALSinceSnapshotBytes:   m.log.SizePast(m.snapOffset),
+		WALWrite:                m.log.Stats(),
+		SnapshotOffset:          m.snapOffset,
+		SnapshotRecords:         m.snapRecords,
+		SnapshotAt:              m.snapAt,
+		Recovery:                m.recovery,
 	}
 }
 

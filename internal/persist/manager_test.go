@@ -240,6 +240,94 @@ func TestManagerReplayTolerantOfDuplicateBatches(t *testing.T) {
 	}
 }
 
+// TestManagerWALGrowthTrigger: with SnapshotWALBytes armed, WAL growth
+// past the threshold signals GrowthC, SnapshotIfGrown cuts a snapshot
+// (and only then), and the since-snapshot counters reset.
+func TestManagerWALGrowthTrigger(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{NoSync: true, SnapshotWALBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Below the threshold: no signal, and SnapshotIfGrown declines.
+	if err := m.Store().AddBatch(walBatch("small", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-m.GrowthC():
+		t.Fatal("growth signaled below the threshold")
+	default:
+	}
+	if _, cut, err := m.SnapshotIfGrown(); err != nil || cut {
+		t.Fatalf("SnapshotIfGrown below threshold: cut=%v err=%v", cut, err)
+	}
+	st := m.Status()
+	if st.WALSinceSnapshotRecords != 1 || st.WALSinceSnapshotBytes <= 0 {
+		t.Fatalf("since-snapshot counters = %d records / %d bytes, want 1 record and > 0 bytes",
+			st.WALSinceSnapshotRecords, st.WALSinceSnapshotBytes)
+	}
+
+	// Cross the threshold: the commit hook must signal.
+	for i := 0; m.Status().WALSinceSnapshotBytes < 512; i++ {
+		if err := m.Store().AddBatch(walBatch(fmt.Sprintf("grow%d", i), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-m.GrowthC():
+	default:
+		t.Fatal("no growth signal although the WAL crossed the threshold")
+	}
+	info, cut, err := m.SnapshotIfGrown()
+	if err != nil || !cut {
+		t.Fatalf("SnapshotIfGrown past threshold: cut=%v err=%v", cut, err)
+	}
+	if info.Records != m.Store().Len() {
+		t.Fatalf("growth snapshot covered %d records, store holds %d", info.Records, m.Store().Len())
+	}
+	st = m.Status()
+	if st.WALSinceSnapshotRecords != 0 || st.WALSinceSnapshotBytes >= 512 {
+		t.Fatalf("since-snapshot counters after snapshot = %d records / %d bytes, want reset",
+			st.WALSinceSnapshotRecords, st.WALSinceSnapshotBytes)
+	}
+	// The signal space is drained and stays quiet until new growth.
+	if _, cut, _ := m.SnapshotIfGrown(); cut {
+		t.Fatal("SnapshotIfGrown re-cut with no new growth")
+	}
+}
+
+// TestManagerGrowthSignaledAtOpen: a recovered dir that already owes
+// more replay than the threshold allows signals immediately, so the
+// snapshot loop catches up right after boot instead of waiting for
+// fresh ingest.
+func TestManagerGrowthSignaledAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := m.Store().AddBatch(walBatch(fmt.Sprintf("b%d", i), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(dir, Options{NoSync: true, SnapshotWALBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	select {
+	case <-m2.GrowthC():
+	default:
+		t.Fatal("no growth signal at open despite an over-threshold WAL")
+	}
+}
+
 func TestManagerMetaRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	m, err := Open(dir, Options{NoSync: true})

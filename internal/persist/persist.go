@@ -13,6 +13,20 @@
 // threshold and are named by the record offset at which they start, so
 // offset accounting survives compaction.
 //
+// Concurrent appends group-commit: writers queue their frames and a
+// committer goroutine folds everything queued during the in-flight
+// fsync (plus an optional Options.GroupWindow) into one write and one
+// sync, fanning the shared result back to every waiter — so the
+// per-batch fsync tax amortizes across parallel writers without
+// weakening the ack contract (Append still returns only once the frame
+// is durable).
+//
+// Snapshots are cut on demand, and the manager can additionally signal
+// a WAL-growth trigger (Options.SnapshotWALBytes): once the uncovered
+// WAL exceeds the threshold, GrowthC fires so a background loop cuts a
+// snapshot without waiting for its wall-clock tick, bounding how much
+// replay a recovery can ever owe.
+//
 // A snapshot is the full record set at one instant, written
 // temp-file → fsync → rename, with a MANIFEST (written the same way)
 // naming the snapshot file, its checksum, and the WAL record offset it
@@ -32,6 +46,7 @@ package persist
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"iqb/internal/dataset"
 )
@@ -48,11 +63,44 @@ type Options struct {
 	SegmentBytes int64
 	// NoSync skips the fsync after each WAL append. Appends then only
 	// survive an OS crash if the page cache was flushed — acceptable
-	// for tests and throughput benchmarks, not for production.
+	// for tests and throughput benchmarks, not for production. NoSync
+	// also bypasses the group-commit queue: with no fsync to share,
+	// coalescing buys nothing.
 	NoSync bool
+	// GroupWindow is how long the WAL's group committer holds a commit
+	// open for more writers after picking up its first queued frame,
+	// trading that much latency for fewer fsyncs. 0 still
+	// group-commits: frames queued while the previous write+sync was
+	// in flight coalesce into the next one. Ignored with NoSync or
+	// NoGroupCommit.
+	GroupWindow time.Duration
+	// NoGroupCommit restores the serial write path: every sync-mode
+	// Append performs its own write and fsync under the log mutex.
+	// Kept as the wal-fsync baseline for benchmarks and bisection;
+	// group commit is otherwise always on in sync mode.
+	NoGroupCommit bool
+	// SnapshotWALBytes arms the manager's WAL-growth snapshot trigger:
+	// once the WAL holds at least this many on-disk bytes not covered
+	// by the latest snapshot, the manager signals Manager.GrowthC so a
+	// snapshot loop can cut one without waiting for a wall-clock tick
+	// — bounding replay-at-recovery work under heavy ingest. <= 0
+	// disables the trigger.
+	SnapshotWALBytes int64
 	// Store configures the dataset store geometry built during
 	// recovery.
 	Store dataset.Options
+
+	// fs substitutes the WAL's file operations; nil means the real
+	// filesystem. Unexported: only persist's crash tests inject
+	// faults (short writes, fsync errors, kill-points) here.
+	fs walFS
+}
+
+func (o Options) fileSystem() walFS {
+	if o.fs == nil {
+		return osFS{}
+	}
+	return o.fs
 }
 
 func (o Options) segmentBytes() int64 {

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"iqb/internal/dataset"
 )
@@ -44,6 +45,54 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // else.
 var errTorn = errors.New("persist: torn frame")
 
+// errLogClosed is returned by appends against a closed log.
+var errLogClosed = errors.New("persist: log is closed")
+
+// walFile is the file-operation surface the WAL uses. *os.File
+// implements it; persist's crash tests substitute a fault-injecting
+// implementation (short writes, fsync errors, kill-points mid-frame) to
+// make the durability contract executable.
+type walFile interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	WriteAt(p []byte, off int64) (n int, err error)
+	Truncate(size int64) error
+	Sync() error
+}
+
+// walFS is the filesystem behind the WAL's segment files. Production
+// code always uses the real filesystem (osFS); tests inject faults via
+// Options.fs.
+type walFS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (walFile, error)
+	Open(name string) (walFile, error)
+	Remove(name string) error
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (walFile, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (walFile, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error { return syncDir(dir) }
+
 // walSegment is a sealed (non-active) segment.
 type walSegment struct {
 	name  string
@@ -51,23 +100,82 @@ type walSegment struct {
 	size  int64  // on-disk bytes, fixed at seal time
 }
 
+// walReq is one writer's frame waiting in the group-commit queue. The
+// committer answers on done exactly once: nil when the frame is
+// durable, the group's shared error otherwise.
+type walReq struct {
+	frame []byte
+	count uint32
+	done  chan error
+}
+
+// WALStats counts the write path's work over this process's lifetime
+// (not persisted). Under group commit, Fsyncs < AppendedFrames is the
+// whole point: concurrent writers share syncs.
+type WALStats struct {
+	// AppendedFrames counts frames durably appended (one per batch).
+	AppendedFrames uint64 `json:"appended_frames"`
+	// Fsyncs counts syncs performed to make frames durable (segment
+	// creation and compaction syncs are not included).
+	Fsyncs uint64 `json:"fsyncs"`
+	// GroupCommits counts committer rounds, each one write+sync
+	// covering every frame queued while the previous round was in
+	// flight (plus the group window).
+	GroupCommits uint64 `json:"group_commits"`
+	// MaxGroupFrames is the largest number of frames a single group
+	// commit has covered.
+	MaxGroupFrames int `json:"max_group_frames"`
+}
+
 // Log is a segmented append-only write-ahead log of dataset record
-// batches. It is safe for concurrent use; Append serializes writers.
+// batches. It is safe for concurrent use.
+//
+// In sync mode (the default), concurrent Appends coalesce into group
+// commits: each caller frames its batch, queues it, and blocks; a
+// committer goroutine writes every frame queued during the in-flight
+// write+sync as one write and one fsync, then fans the result back to
+// each waiter. A failed group write or sync is rolled back (the file
+// truncated to the pre-group boundary, best-effort) and every waiter in
+// the group receives the error. Options.NoGroupCommit restores the
+// serial fsync-per-Append path; Options.NoSync bypasses the queue
+// entirely, as unsynced appends have no fsync to share.
 type Log struct {
 	dir    string
 	segMax int64
 	noSync bool
+	fs     walFS
+
+	// Group-commit queue. Appenders push under qmu and block on their
+	// request's done channel; the committer drains pending in batches.
+	group         bool
+	groupWindow   time.Duration
+	qmu           sync.Mutex
+	qcond         *sync.Cond
+	pending       []*walReq
+	qclosed       bool
+	committerDone chan struct{}
 
 	mu          sync.Mutex
-	active      *os.File
+	active      walFile
 	activeName  string
 	activeStart uint64 // record offset at which the active segment starts
 	activeSize  int64  // bytes written to the active segment
 	old         []walSegment
 	offset      uint64 // records appended across the log's lifetime
-	torn        bool   // whether open found and truncated a torn tail
+	stats       WALStats
+	torn        bool // whether open found and truncated a torn tail
 	closed      bool
+	// wedged is set when a failed write could not be rolled back: a
+	// possibly-partial frame is stuck mid-file, and appending past it
+	// would put durable frames behind a tear that the next recovery
+	// truncates away. A wedged log fails all appends and compactions
+	// until a reopen re-establishes a clean tail.
+	wedged bool
 }
+
+// errWedged fails operations on a log whose last failed write could not
+// be rolled back; reopening truncates the tear and recovers.
+var errWedged = errors.New("persist: log is wedged behind an unrollbackable partial write; reopen to recover")
 
 func segName(start uint64) string {
 	return fmt.Sprintf("%020d%s", start, segSuffix)
@@ -98,17 +206,18 @@ func OpenLog(dir string, o Options) (*Log, error) {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
 
-	l := &Log{dir: dir, segMax: o.segmentBytes(), noSync: o.NoSync}
+	l := &Log{dir: dir, segMax: o.segmentBytes(), noSync: o.NoSync, fs: o.fileSystem()}
 	if len(segs) == 0 {
 		if err := l.createSegmentLocked(0); err != nil {
 			return nil, err
 		}
+		l.startCommitter(o)
 		return l, nil
 	}
 
 	for i, seg := range segs {
 		last := i == len(segs)-1
-		records, goodEnd, torn, err := scanSegment(filepath.Join(dir, seg.name))
+		records, goodEnd, torn, err := scanSegment(l.fs, filepath.Join(dir, seg.name))
 		if err != nil {
 			return nil, fmt.Errorf("persist: segment %s: %w", seg.name, err)
 		}
@@ -128,7 +237,7 @@ func OpenLog(dir string, o Options) (*Log, error) {
 		// appending.
 		path := filepath.Join(dir, seg.name)
 		if torn {
-			if err := truncateSegment(path, goodEnd); err != nil {
+			if err := truncateSegment(l.fs, path, goodEnd); err != nil {
 				return nil, err
 			}
 			l.torn = true
@@ -136,7 +245,7 @@ func OpenLog(dir string, o Options) (*Log, error) {
 				goodEnd = int64(len(segMagic))
 			}
 		}
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("persist: opening active segment: %w", err)
 		}
@@ -146,13 +255,27 @@ func OpenLog(dir string, o Options) (*Log, error) {
 		l.activeSize = goodEnd
 		l.offset = seg.start + records
 	}
+	l.startCommitter(o)
 	return l, nil
+}
+
+// startCommitter launches the group-commit goroutine when the options
+// call for one (sync mode, group commit not disabled).
+func (l *Log) startCommitter(o Options) {
+	l.group = !o.NoSync && !o.NoGroupCommit
+	if !l.group {
+		return
+	}
+	l.groupWindow = o.GroupWindow
+	l.qcond = sync.NewCond(&l.qmu)
+	l.committerDone = make(chan struct{})
+	go l.committer()
 }
 
 // truncateSegment cuts a segment back to its last clean frame boundary,
 // rewriting the magic if the tear landed inside it, and fsyncs.
-func truncateSegment(path string, goodEnd int64) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+func truncateSegment(fs walFS, path string, goodEnd int64) error {
+	f, err := fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: opening torn segment: %w", err)
 	}
@@ -179,8 +302,8 @@ func truncateSegment(path string, goodEnd int64) error {
 // scanSegment validates one segment's frames without decoding payloads.
 // It returns the record count, the byte offset just past the last clean
 // frame, and whether the segment ends in a torn frame.
-func scanSegment(path string) (records uint64, goodEnd int64, torn bool, err error) {
-	f, err := os.Open(path)
+func scanSegment(fs walFS, path string) (records uint64, goodEnd int64, torn bool, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, false, err
 	}
@@ -243,7 +366,7 @@ func readFrame(br *bufio.Reader) (count uint32, payload []byte, err error) {
 func (l *Log) createSegmentLocked(start uint64) error {
 	name := segName(start)
 	path := filepath.Join(l.dir, name)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: creating segment: %w", err)
 	}
@@ -251,7 +374,7 @@ func (l *Log) createSegmentLocked(start uint64) error {
 	// the retry's O_EXCL open would fail forever on the leftover.
 	abandon := func() {
 		f.Close()
-		os.Remove(path)
+		l.fs.Remove(path)
 	}
 	if _, err := f.Write([]byte(segMagic)); err != nil {
 		abandon()
@@ -262,7 +385,7 @@ func (l *Log) createSegmentLocked(start uint64) error {
 			abandon()
 			return fmt.Errorf("persist: syncing new segment: %w", err)
 		}
-		if err := syncDir(l.dir); err != nil {
+		if err := l.fs.SyncDir(l.dir); err != nil {
 			abandon()
 			return err
 		}
@@ -282,50 +405,87 @@ func (l *Log) createSegmentLocked(start uint64) error {
 	return nil
 }
 
-// Append frames the batch and writes it to the active segment,
-// fsyncing unless the log was opened with NoSync. When Append returns
-// nil the batch is durable; a non-nil error means the batch must be
-// treated as not written (a torn partial write is truncated away on the
-// next open).
-func (l *Log) Append(rs []dataset.Record) error {
-	if len(rs) == 0 {
-		return nil
-	}
+// encodeFrame wraps a batch in the WAL's [len|count|crc|payload] frame.
+func encodeFrame(rs []dataset.Record) ([]byte, error) {
 	var payload bytes.Buffer
 	if err := dataset.WriteNDJSON(&payload, rs); err != nil {
-		return fmt.Errorf("persist: encoding batch: %w", err)
+		return nil, fmt.Errorf("persist: encoding batch: %w", err)
 	}
 	if payload.Len() > maxFrameBytes {
-		return fmt.Errorf("persist: batch frame %d bytes exceeds %d; split the batch", payload.Len(), maxFrameBytes)
+		return nil, fmt.Errorf("persist: batch frame %d bytes exceeds %d; split the batch", payload.Len(), maxFrameBytes)
 	}
 	frame := make([]byte, frameHdrSize+payload.Len())
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(payload.Len()))
 	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(rs)))
 	binary.LittleEndian.PutUint32(frame[8:12], crc32.Checksum(payload.Bytes(), crcTable))
 	copy(frame[frameHdrSize:], payload.Bytes())
+	return frame, nil
+}
 
+// Append frames the batch and makes it durable. When Append returns nil
+// the batch is on disk (fsynced, unless the log was opened with
+// NoSync); a non-nil error means the batch must be treated as not
+// written (a torn partial write is truncated away on the next open).
+//
+// Under group commit, concurrent callers block while the committer
+// folds their frames into one shared write+sync; a group failure
+// surfaces the same error to every caller in the group.
+func (l *Log) Append(rs []dataset.Record) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	frame, err := encodeFrame(rs)
+	if err != nil {
+		return err
+	}
+	if !l.group {
+		return l.appendSerial(frame, uint32(len(rs)))
+	}
+	req := &walReq{frame: frame, count: uint32(len(rs)), done: make(chan error, 1)}
+	l.qmu.Lock()
+	if l.qclosed {
+		l.qmu.Unlock()
+		return errLogClosed
+	}
+	l.pending = append(l.pending, req)
+	l.qcond.Signal()
+	l.qmu.Unlock()
+	return <-req.done
+}
+
+// appendSerial is the non-grouped write path: one frame, one write,
+// one fsync (unless NoSync), all under the log mutex.
+func (l *Log) appendSerial(frame []byte, count uint32) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return fmt.Errorf("persist: log is closed")
+		return errLogClosed
+	}
+	if l.wedged {
+		return errWedged
 	}
 	// On any failure the frame's durability is unknown, so roll the
-	// file back to the pre-append boundary (best-effort): the caller
-	// treats an errored batch as not written, and a frame that
-	// survived anyway would resurface on recovery as a write the store
-	// vetoed. Replay tolerates exact duplicates, but not resurrection.
+	// file back to the pre-append boundary: the caller treats an
+	// errored batch as not written, and a frame that survived anyway
+	// would resurface on recovery as a batch the store never applied.
+	// Replay tolerates those (exact-duplicate skip, or an unacked
+	// batch the workload submitted), but the rollback itself must not
+	// be best-effort — see rollbackLocked, which wedges the log when
+	// the truncate fails too.
 	if _, err := l.active.Write(frame); err != nil {
-		l.active.Truncate(l.activeSize)
+		l.rollbackLocked()
 		return fmt.Errorf("persist: appending frame: %w", err)
 	}
 	if !l.noSync {
 		if err := l.active.Sync(); err != nil {
-			l.active.Truncate(l.activeSize)
+			l.rollbackLocked()
 			return fmt.Errorf("persist: syncing frame: %w", err)
 		}
+		l.stats.Fsyncs++
 	}
+	l.stats.AppendedFrames++
 	l.activeSize += int64(len(frame))
-	l.offset += uint64(len(rs))
+	l.offset += uint64(count)
 	if l.activeSize >= l.segMax {
 		// The frame is already durable, so a failed rotation must not
 		// turn the ack into an error: keep the oversized segment
@@ -333,6 +493,115 @@ func (l *Log) Append(rs []dataset.Record) error {
 		_ = l.createSegmentLocked(l.offset)
 	}
 	return nil
+}
+
+// rollbackLocked rolls the active segment back to the pre-append
+// boundary after a failed write or sync. If the rollback truncate also
+// fails, a frame of unknown durability is stuck past the accounted
+// tail: it may be torn (partial write), and even a completely-written
+// frame may silently never reach disk (a failed fsync can drop the
+// dirty pages while every later fsync succeeds), so appending past it
+// would park acknowledged frames behind a possible hole for the next
+// recovery to truncate away — or, via rotation, seal a segment whose
+// scanned record count contradicts the next segment's offset name. The
+// log wedges instead: every later append and compaction fails loudly
+// until a reopen rescans the bytes that actually survived, losing only
+// unacknowledged data.
+func (l *Log) rollbackLocked() {
+	if terr := l.active.Truncate(l.activeSize); terr != nil {
+		l.wedged = true
+	}
+}
+
+// committer is the group-commit loop: it drains every frame queued
+// while the previous round's write+sync was in flight (plus frames
+// arriving during the configured group window) and commits them as one
+// group. It exits once the log is closed and the queue is empty, so a
+// Close never strands a blocked writer — frames already queued are
+// flushed, not failed.
+func (l *Log) committer() {
+	defer close(l.committerDone)
+	for {
+		l.qmu.Lock()
+		for len(l.pending) == 0 && !l.qclosed {
+			l.qcond.Wait()
+		}
+		if len(l.pending) == 0 && l.qclosed {
+			l.qmu.Unlock()
+			return
+		}
+		group := l.pending
+		l.pending = nil
+		closing := l.qclosed
+		l.qmu.Unlock()
+		if l.groupWindow > 0 && !closing {
+			// Hold the commit open briefly so writers that arrive
+			// just behind the first frame share its fsync instead of
+			// paying for their own in the next round.
+			time.Sleep(l.groupWindow)
+			l.qmu.Lock()
+			group = append(group, l.pending...)
+			l.pending = nil
+			l.qmu.Unlock()
+		}
+		l.commitGroup(group)
+	}
+}
+
+// commitGroup writes every queued frame in one write, fsyncs once, and
+// fans the shared result back to each waiter. On failure the file is
+// rolled back to the pre-group boundary (best-effort) and every waiter
+// in the group receives the same error.
+func (l *Log) commitGroup(group []*walReq) {
+	total := 0
+	var records uint64
+	for _, r := range group {
+		total += len(r.frame)
+		records += uint64(r.count)
+	}
+	buf := make([]byte, 0, total)
+	for _, r := range group {
+		buf = append(buf, r.frame...)
+	}
+
+	l.mu.Lock()
+	err := func() error {
+		if l.closed {
+			return errLogClosed
+		}
+		if l.wedged {
+			return errWedged
+		}
+		if _, werr := l.active.Write(buf); werr != nil {
+			l.rollbackLocked()
+			return fmt.Errorf("persist: appending group of %d frames: %w", len(group), werr)
+		}
+		if serr := l.active.Sync(); serr != nil {
+			l.rollbackLocked()
+			return fmt.Errorf("persist: syncing group of %d frames: %w", len(group), serr)
+		}
+		return nil
+	}()
+	if err == nil {
+		l.activeSize += int64(total)
+		l.offset += records
+		l.stats.AppendedFrames += uint64(len(group))
+		l.stats.Fsyncs++
+		l.stats.GroupCommits++
+		if len(group) > l.stats.MaxGroupFrames {
+			l.stats.MaxGroupFrames = len(group)
+		}
+		if l.activeSize >= l.segMax {
+			// Frames are already durable; a failed rotation must not
+			// turn the acks into errors (same contract as the serial
+			// path).
+			_ = l.createSegmentLocked(l.offset)
+		}
+	}
+	l.mu.Unlock()
+	for _, r := range group {
+		r.done <- err
+	}
 }
 
 // Replay streams every batch whose records lie past the `from` record
@@ -359,7 +628,7 @@ func (l *Log) Replay(from uint64, fn func(rs []dataset.Record) error) error {
 }
 
 func (l *Log) replaySegment(seg walSegment, from uint64, fn func(rs []dataset.Record) error) error {
-	f, err := os.Open(filepath.Join(l.dir, seg.name))
+	f, err := l.fs.Open(filepath.Join(l.dir, seg.name))
 	if err != nil {
 		return err
 	}
@@ -410,7 +679,12 @@ func (l *Log) Compact(through uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return fmt.Errorf("persist: log is closed")
+		return errLogClosed
+	}
+	if l.wedged {
+		// Sealing a wedged active segment would bury its torn frame in
+		// a sealed segment, which recovery treats as hard corruption.
+		return errWedged
 	}
 	if l.activeStart < through && l.activeSize > int64(len(segMagic)) {
 		if err := l.createSegmentLocked(l.offset); err != nil {
@@ -432,7 +706,7 @@ func (l *Log) Compact(through uint64) error {
 			kept = append(kept, seg)
 			continue
 		}
-		if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil && !os.IsNotExist(err) {
+		if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil && !os.IsNotExist(err) {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("persist: removing compacted segment: %w", err)
 			}
@@ -446,7 +720,7 @@ func (l *Log) Compact(through uint64) error {
 		return firstErr
 	}
 	if removed && !l.noSync {
-		return syncDir(l.dir)
+		return l.fs.SyncDir(l.dir)
 	}
 	return nil
 }
@@ -470,6 +744,13 @@ func (l *Log) Segments() int {
 	return len(l.old) + 1
 }
 
+// Stats reports the write path's work counters.
+func (l *Log) Stats() WALStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
 // SizeBytes reports the log's current on-disk size from tracked
 // segment sizes — no filesystem syscalls, so health checks never stall
 // appenders on stat calls.
@@ -483,8 +764,45 @@ func (l *Log) SizeBytes() int64 {
 	return total
 }
 
-// Close syncs and closes the active segment. Further appends fail.
+// SizePast reports the on-disk bytes of segments holding records past
+// the given offset — the bytes a recovery from that offset would read.
+// Granularity is whole segments (a boundary segment counts fully,
+// matching what replay actually reads), so the snapshot growth trigger
+// measures exactly the replay work it exists to bound.
+func (l *Log) SizePast(offset uint64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for i, seg := range l.old {
+		end := l.activeStart
+		if i+1 < len(l.old) {
+			end = l.old[i+1].start
+		}
+		if end > offset {
+			total += seg.size
+		}
+	}
+	if l.offset > offset {
+		total += l.activeSize
+	}
+	return total
+}
+
+// Close flushes queued group commits, syncs, and closes the active
+// segment. Appends already queued are committed and acknowledged;
+// further appends fail.
 func (l *Log) Close() error {
+	if l.group {
+		l.qmu.Lock()
+		if !l.qclosed {
+			l.qclosed = true
+			l.qcond.Broadcast()
+		}
+		l.qmu.Unlock()
+		// The committer drains the queue before exiting, so waiters
+		// enqueued ahead of Close get durable acks, not errors.
+		<-l.committerDone
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
