@@ -138,14 +138,12 @@ func openWorld(logger *slog.Logger, spec pipeline.Spec, opts bootOptions) (*worl
 	if rec.HasData() {
 		meta, err := mgr.Meta()
 		if err != nil {
-			mgr.Close()
-			return nil, err
+			return nil, errors.Join(err, mgr.Close())
 		}
 		if s, ok := meta["seed"]; ok {
 			seed, err := strconv.ParseUint(s, 10, 64)
 			if err != nil {
-				mgr.Close()
-				return nil, fmt.Errorf("data dir meta has malformed seed %q: %w", s, err)
+				return nil, errors.Join(fmt.Errorf("data dir meta has malformed seed %q: %w", s, err), mgr.Close())
 			}
 			if seed != spec.Seed {
 				logger.Warn("data dir was built with a different seed; using the recorded one",
@@ -158,8 +156,7 @@ func openWorld(logger *slog.Logger, spec pipeline.Spec, opts bootOptions) (*worl
 		// is a pure function of the seed — no measurement replay.
 		w, err := pipeline.BuildWorld(spec)
 		if err != nil {
-			mgr.Close()
-			return nil, fmt.Errorf("rebuilding geography: %w", err)
+			return nil, errors.Join(fmt.Errorf("rebuilding geography: %w", err), mgr.Close())
 		}
 		logger.Info("world recovered from data dir",
 			"dir", opts.dataDir,
@@ -183,19 +180,16 @@ func openWorld(logger *slog.Logger, spec pipeline.Spec, opts bootOptions) (*worl
 		"seed":             strconv.FormatUint(spec.Seed, 10),
 		"tests_per_county": strconv.Itoa(spec.TestsPerCounty),
 	}); err != nil {
-		mgr.Close()
-		return nil, err
+		return nil, errors.Join(err, mgr.Close())
 	}
 	spec.Store = mgr.Store()
 	res, err := pipeline.Run(context.Background(), spec)
 	if err != nil {
-		mgr.Close()
-		return nil, err
+		return nil, errors.Join(err, mgr.Close())
 	}
 	info, err := mgr.Snapshot()
 	if err != nil {
-		mgr.Close()
-		return nil, fmt.Errorf("initial snapshot: %w", err)
+		return nil, errors.Join(fmt.Errorf("initial snapshot: %w", err), mgr.Close())
 	}
 	logger.Info("world ready and durable", "records", res.Store.Len(), "elapsed", res.Elapsed,
 		"snapshot", info.Path, "snapshot_bytes", info.Bytes)
@@ -319,7 +313,13 @@ func run(args []string) error {
 	defer stop()
 	if w.mgr != nil {
 		api.SetPersistence(w.mgr)
-		defer w.mgr.Close()
+		defer func() {
+			// Shutdown path: the WAL's final fsync happens in Close, so a
+			// failure here is a durability event worth surfacing.
+			if cerr := w.mgr.Close(); cerr != nil {
+				logger.Error("closing persistence", "err", cerr)
+			}
+		}()
 		if *snapEvery > 0 || *snapWALBytes > 0 {
 			go snapshotLoop(ctx, logger, w.mgr, *snapEvery)
 		}

@@ -1,0 +1,90 @@
+// Command iqbvet is the repo's project-specific vet suite: it runs the
+// internal/analyzers rules (maprange, lockio, syncerr, walltime) over
+// the given packages and exits non-zero on any finding, so CI blocks a
+// change that violates a determinism, durability, or locking contract.
+//
+// Usage:
+//
+//	go run ./cmd/iqbvet ./...
+//	go run ./cmd/iqbvet -list
+//	go run ./cmd/iqbvet -only maprange,walltime ./internal/...
+//
+// Findings print as file:line:col: [analyzer] message. Intentional
+// exceptions are documented in the source with
+// //iqbvet:ignore <analyzer> <reason> (see internal/analyzers).
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iqb/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut *os.File) int {
+	fs := flag.NewFlagSet("iqbvet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: iqbvet [-list] [-only name,...] packages...\n\n"+
+			"iqbvet is this repo's contract checker; packages are Go package\n"+
+			"patterns relative to the module root (e.g. ./... or ./internal/persist).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(out, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	suite := analyzers.All()
+	if *only != "" {
+		byName := map[string]*analyzers.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(errOut, "iqbvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(errOut, "iqbvet: %v\n", err)
+		return 2
+	}
+	diags, err := analyzers.Vet(cwd, patterns, suite)
+	if err != nil {
+		fmt.Fprintf(errOut, "iqbvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "iqbvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func devnull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestListExitsZero(t *testing.T) {
+	if got := run([]string{"-list"}, devnull(t), devnull(t)); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestNoPatternsIsUsageError(t *testing.T) {
+	if got := run(nil, devnull(t), devnull(t)); got != 2 {
+		t.Fatalf("run() = %d, want 2", got)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if got := run([]string{"-only", "bogus", "./..."}, devnull(t), devnull(t)); got != 2 {
+		t.Fatalf("run(-only bogus) = %d, want 2", got)
+	}
+}
+
+// TestScopeFilteredRunIsClean vets this package with an analyzer whose
+// scope excludes cmd/iqbvet: the driver should skip loading entirely
+// and exit clean, without type-checking anything.
+func TestScopeFilteredRunIsClean(t *testing.T) {
+	if got := run([]string{"-only", "maprange", "./cmd/iqbvet"}, devnull(t), devnull(t)); got != 0 {
+		t.Fatalf("run(-only maprange ./cmd/iqbvet) = %d, want 0", got)
+	}
+}

@@ -28,4 +28,12 @@
 // /v1/score and /v1/ranking serve cached results that are byte-identical
 // to uncached scoring; internal/httpapi's cold-vs-warm benchmarks
 // quantify the win.
+//
+// Contracts: the invariants those subsystems rely on — fixed-seed
+// bit-determinism, no fsync while a shared lock is held, no discarded
+// write-path Sync/Close/Truncate errors — are machine-checked by the
+// repo's own vet suite, internal/analyzers, run as a required CI step
+// via `go run ./cmd/iqbvet ./...`. Intentional exceptions are annotated
+// in the source with //iqbvet:ignore <analyzer> <reason>; see README.md
+// for the rule-by-rule contract.
 package repro

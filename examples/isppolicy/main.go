@@ -38,7 +38,7 @@ func simulateCounty(label string, mix netem.TechMix, nSubs int, seed uint64) (iq
 		src := root.Fork(fmt.Sprintf("sub-%d", i))
 		tech := mix.Draw(src)
 		path := netem.DrawPath(profiles[tech], 1, src)
-		rho := netem.Diurnal(19+src.Range(0, 4)) // evening tests
+		rho := netem.Diurnal(19 + src.Range(0, 4)) // evening tests
 		at := base.Add(time.Duration(i) * time.Minute)
 
 		nres, err := ndt.Simulate(path, rho, src)

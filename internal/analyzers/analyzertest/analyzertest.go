@@ -1,0 +1,146 @@
+// Package analyzertest runs one analyzer over a testdata package and
+// diffs its findings against // want comments, in the style of
+// golang.org/x/tools' analysistest (which the module cannot depend
+// on). Each analyzer's testdata package is the executable
+// specification of its rule: positive cases carry a want comment,
+// negative cases carry nothing, and documented exceptions carry an
+// //iqbvet:ignore suppression and no want — proving the suppression is
+// honored.
+//
+// A want comment names one or more regular expressions that must each
+// match a finding reported on that line:
+//
+//	s += k // want `string built in map iteration order`
+//
+// Findings with no matching want, and wants with no matching finding,
+// fail the test.
+package analyzertest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"iqb/internal/analyzers"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.+)$")
+
+// Run loads testdata/src/<pkgname> (relative to the calling test's
+// working directory), applies the analyzer through the same
+// suppression-aware driver the iqbvet binary uses, and reports any
+// mismatch against the package's want comments.
+func Run(t *testing.T, a *analyzers.Analyzer, pkgname string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgname)
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		t.Fatalf("building loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, pkgname)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	diags := analyzers.RunPackage(pkg, []*analyzers.Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		body, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(body), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pat := range splitWant(m[1]) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+				}
+				wants[key{path, i + 1}] = append(wants[key{path, i + 1}], re)
+			}
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		k := key{relToHere(t, d.Pos.Filename), d.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: want %q matched no finding", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// splitWant extracts the quoted or backquoted patterns from the text
+// after "want".
+func splitWant(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return out
+}
+
+// relToHere rewrites an absolute diagnostic path to be relative to the
+// test's working directory, matching how want keys are built.
+func relToHere(t *testing.T, path string) string {
+	t.Helper()
+	if !filepath.IsAbs(path) {
+		return path
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil {
+		return path
+	}
+	return rel
+}

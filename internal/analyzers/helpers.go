@@ -1,0 +1,153 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves the function or method a call expression invokes,
+// or nil for builtins, conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// pkgFunc reports whether fn is the package-level function pkgPath.name.
+func pkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && sigOf(fn).Recv() == nil
+}
+
+// recvOf returns the named type a method's receiver resolves to after
+// stripping pointers, or nil for package-level functions and methods
+// on unnamed receivers.
+func recvOf(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	recv := sigOf(fn).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamed reports whether named is pkgPath.name.
+func isNamed(named *types.Named, pkgPath, name string) bool {
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// recvIsInterface reports whether fn is declared on an interface
+// receiver (i.e. the call site dispatches dynamically).
+func recvIsInterface(fn *types.Func) bool {
+	recv := sigOf(fn).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
+}
+
+// baseIdentObj walks to the base identifier of a selector/index chain
+// (s.stripes[i].mu → s, f → f) and returns its object, or nil when the
+// base is not a simple identifier (a call result, for example).
+func baseIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// moduleLocal reports whether the object is declared in the analyzed
+// package itself or anywhere else in this module — the types whose
+// methods encode repo semantics, as opposed to the standard library's.
+func moduleLocal(pkg *types.Package, obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkg.Path() || p == "iqb" || strings.HasPrefix(p, "iqb/")
+}
+
+// pathTo returns the chain of nodes from root down to the node for
+// which match returns true, or nil when no such node exists under
+// root. The target node is the last element.
+func pathTo(root ast.Node, match func(ast.Node) bool) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if match(n) {
+			found = append([]ast.Node(nil), stack...)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcBodies yields every function body in the file along with its
+// enclosing declaration node (FuncDecl or FuncLit).
+func funcBodies(f *ast.File, fn func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Body)
+		}
+		return true
+	})
+}
+
+// sigOf returns fn's signature. (*types.Func).Signature() exists but
+// only since go1.23; the module language version is go1.22.
+func sigOf(fn *types.Func) *types.Signature {
+	return fn.Type().(*types.Signature)
+}

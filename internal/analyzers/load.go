@@ -1,0 +1,252 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (or a bare name for testdata
+	// packages, which are never imported).
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves package patterns against one module and type-checks
+// packages with a shared file set and source importer, so dependencies
+// (including the standard library) are checked once per process rather
+// than once per target package.
+//
+// The loader is built on the standard library alone: files are chosen
+// by go/build (so build constraints are honored), parsed with comments
+// (suppressions live there), and checked by go/types with the "source"
+// compiler importer, which resolves module-local imports without
+// needing export data or golang.org/x/tools. Test files are not
+// loaded: the invariants the suite encodes are production-code
+// contracts, and tests intentionally use wall clocks and ad-hoc
+// ordering.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	fset       *token.FileSet
+	imp        types.Importer
+}
+
+// NewLoader finds the enclosing module of dir and returns a loader
+// rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analyzers: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	body, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analyzers: %s/go.mod declares no module path", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		imp:        importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// Expand resolves package patterns ("./...", "./internal/persist",
+// "internal/...") to module-relative directories that contain Go
+// files. Directories named testdata or vendor, and directories whose
+// name starts with "." or "_", are never matched by a ... wildcard.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(filepath.Clean(rel))
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		base := filepath.Join(l.ModuleRoot, filepath.FromSlash(pat))
+		info, err := os.Stat(base)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("analyzers: pattern %q does not name a directory under %s", pat, l.ModuleRoot)
+		}
+		if !recursive {
+			add(relOf(l.ModuleRoot, base))
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(relOf(l.ModuleRoot, path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func relOf(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return path
+	}
+	return rel
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the package in the module-relative
+// directory rel. It returns nil (no error) when the directory holds no
+// non-test Go files.
+func (l *Loader) Load(rel string) (*Package, error) {
+	importPath := l.ModulePath
+	if rel != "." {
+		importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.LoadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), importPath)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. analyzertest uses it directly to load testdata packages
+// under bare, unimportable paths.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("analyzers: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Vet loads every package matching the patterns (resolved against the
+// module enclosing root) and runs each analyzer whose scope covers it,
+// returning all surviving diagnostics sorted by position.
+func Vet(root string, patterns []string, as []*Analyzer) ([]Diagnostic, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, rel := range dirs {
+		importPath := l.ModulePath
+		if rel != "." {
+			importPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		var applicable []*Analyzer
+		for _, a := range as {
+			if a.AppliesTo(importPath) {
+				applicable = append(applicable, a)
+			}
+		}
+		if len(applicable) == 0 {
+			continue
+		}
+		pkg, err := l.Load(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		diags = append(diags, RunPackage(pkg, applicable)...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,74 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpandSkipsTestdataAndFindsSelf(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "iqb" {
+		t.Fatalf("ModulePath = %q, want iqb", l.ModulePath)
+	}
+	dirs, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, d := range dirs {
+		found[d] = true
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand matched a testdata directory: %s", d)
+		}
+	}
+	for _, want := range []string{"internal/analyzers", "internal/persist", "cmd/iqbvet", "."} {
+		if !found[want] {
+			t.Errorf("Expand(./...) missed %s (got %v)", want, dirs)
+		}
+	}
+}
+
+func TestExpandNonRecursive(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Expand([]string{"./internal/analyzers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != "internal/analyzers" {
+		t.Fatalf("Expand = %v, want [internal/analyzers]", dirs)
+	}
+}
+
+func TestExpandRejectsMissingDir(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Expand([]string{"./no/such/dir"}); err == nil {
+		t.Fatal("expected an error for a nonexistent pattern")
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Name: "x", Scope: []string{"iqb/internal/persist"}}
+	for path, want := range map[string]bool{
+		"iqb/internal/persist":     true,
+		"iqb/internal/persist/sub": true,
+		"iqb/internal/persistence": false,
+		"iqb/cmd/iqbserver":        false,
+	} {
+		if got := a.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	unscoped := &Analyzer{Name: "y"}
+	if !unscoped.AppliesTo("anything/at/all") {
+		t.Error("empty scope must cover every package")
+	}
+}

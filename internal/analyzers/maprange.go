@@ -1,0 +1,249 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `range` over a map whose loop body feeds an
+// order-sensitive sink, inside the packages that carry the fixed-seed
+// determinism contract (TestScoreAllDeterministicAcrossWorkerCounts
+// and friends). Map iteration order is randomized per execution, so a
+// loop that appends to an outer slice, builds a string, or pushes
+// values into module-local aggregation state in iteration order makes
+// scoring output depend on the run, not the seed — the exact bug class
+// the pinning tests only catch probabilistically.
+//
+// The canonical escape is recognized: collecting the keys and sorting
+// them afterwards (`for k := range m { keys = append(keys, k) }` with
+// a later sort.X(keys...) / slices.Sort(keys)) is not flagged, because
+// the order leak is resolved before the data is used. Receivers and
+// append targets declared inside the loop are per-iteration state and
+// are not flagged either.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "map iteration feeding order-sensitive sinks (appends, string building, aggregate ingestion) " +
+		"in determinism-contract packages; sort the keys first or document why the sink is commutative",
+	Scope: []string{
+		"iqb/internal/dataset",
+		"iqb/internal/pipeline",
+		"iqb/internal/iqb",
+		"iqb/internal/stats",
+	},
+	Run: runMapRange,
+}
+
+// ingestionPrefixes are the method-name shapes that read as "fold this
+// value into accumulated state". Only methods on module-local types
+// count: the repo's own sketches, stores, and accumulators are where
+// iteration order can leak into scoring.
+var ingestionPrefixes = []string{"add", "insert", "ingest", "observe", "record", "merge", "push", "append", "write"}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(pass.Info, rng) {
+				return true
+			}
+			checkMapRange(pass, f, rng)
+			return true
+		})
+	}
+}
+
+func rangesOverMap(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is checked on its own visit; its body's
+			// sinks belong to it.
+			if s != rng && rangesOverMap(pass.Info, s) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkAssignSink(pass, file, rng, s)
+		case *ast.CallExpr:
+			checkCallSink(pass, rng, s)
+		}
+		return true
+	})
+}
+
+// checkAssignSink flags `v = append(v, ...)` on a slice declared
+// before the loop (unless v is sorted afterwards) and string building
+// (`s += x`, `s = s + x`) on an outer string.
+func checkAssignSink(pass *Pass, file *ast.File, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if obj := outerObj(pass.Info, as.Lhs[0], rng); obj != nil && isStringType(obj.Type()) {
+			pass.Reportf(as.Pos(), "string built in map iteration order; collect and sort the keys first")
+			return
+		}
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltin(pass.Info, call, "append") || i >= len(as.Lhs) {
+			continue
+		}
+		obj := outerObj(pass.Info, as.Lhs[i], rng)
+		if obj == nil {
+			continue
+		}
+		// `s = s + x` parses as ASSIGN of a BinaryExpr, handled here too.
+		if sortedAfter(pass.Info, file, rng, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s in map iteration order; sort the keys first (or sort %s before use)", obj.Name(), obj.Name())
+	}
+	if as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+			obj := outerObj(pass.Info, as.Lhs[0], rng)
+			if obj != nil && isStringType(obj.Type()) && exprUsesObj(pass.Info, bin, obj) {
+				pass.Reportf(as.Pos(), "string built in map iteration order; collect and sort the keys first")
+			}
+		}
+	}
+}
+
+// checkCallSink flags ingestion-shaped method calls on module-local
+// receivers declared before the loop, and writes into outer
+// strings.Builder / bytes.Buffer values.
+func checkCallSink(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	fn := calleeOf(pass.Info, call)
+	if fn == nil || sigOf(fn).Recv() == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvObj := baseIdentObj(pass.Info, sel.X)
+	if recvObj == nil || declaredInside(recvObj, rng) {
+		return
+	}
+	named := recvOf(fn)
+	if isNamed(named, "strings", "Builder") || isNamed(named, "bytes", "Buffer") {
+		if strings.HasPrefix(fn.Name(), "Write") {
+			pass.Reportf(call.Pos(), "%s.%s in map iteration order builds order-dependent output; sort the keys first", recvObj.Name(), fn.Name())
+		}
+		return
+	}
+	if named == nil || !moduleLocal(pass.Pkg, named.Obj()) {
+		return
+	}
+	name := strings.ToLower(fn.Name())
+	for _, p := range ingestionPrefixes {
+		if strings.HasPrefix(name, p) {
+			pass.Reportf(call.Pos(), "%s.%s called in map iteration order; sort the keys first or document why ingestion into %s is order-independent",
+				recvObj.Name(), fn.Name(), named.Obj().Name())
+			return
+		}
+	}
+}
+
+// outerObj resolves e to a variable declared before the range
+// statement, or nil when e is not a plain identifier or is
+// loop-local.
+func outerObj(info *types.Info, e ast.Expr, rng *ast.RangeStmt) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || declaredInside(obj, rng) {
+		return nil
+	}
+	return obj
+}
+
+func declaredInside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func exprUsesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// sorting call in any statement that follows the range loop inside the
+// enclosing function — the collect-keys-then-sort idiom that resolves
+// the iteration-order leak before the slice is used.
+func sortedAfter(info *types.Info, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	path := pathTo(file, func(n ast.Node) bool { return n == rng })
+	if path == nil {
+		return false
+	}
+	// Trim the path to the enclosing function, so a sort in a sibling
+	// function never counts.
+	start := 0
+	for i, n := range path {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			start = i
+		}
+	}
+	sorted := false
+	for _, n := range path[start:] {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, st := range block.List {
+			if st.Pos() < rng.End() {
+				continue
+			}
+			ast.Inspect(st, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || sorted {
+					return !sorted
+				}
+				fn := calleeOf(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if exprUsesObj(info, arg, obj) {
+						sorted = true
+					}
+				}
+				return !sorted
+			})
+			if sorted {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"iqb/internal/analyzers"
+	"iqb/internal/analyzers/analyzertest"
+)
+
+// Each analyzer's testdata package holds at least one true positive
+// (// want), negatives, and a suppressed case with no want — so these
+// runs prove both that the rule fires and that //iqbvet:ignore is
+// honored.
+
+func TestMapRange(t *testing.T) { analyzertest.Run(t, analyzers.MapRange, "maprange") }
+
+func TestLockIO(t *testing.T) { analyzertest.Run(t, analyzers.LockIO, "lockio") }
+
+func TestSyncErr(t *testing.T) { analyzertest.Run(t, analyzers.SyncErr, "syncerr") }
+
+func TestWallTime(t *testing.T) { analyzertest.Run(t, analyzers.WallTime, "walltime") }
+
+// TestSuppression runs walltime over the suppress package: malformed
+// waivers must be reported, and the file-wide waiver must silence
+// every walltime finding in fileignore.go.
+func TestSuppression(t *testing.T) { analyzertest.Run(t, analyzers.WallTime, "suppress") }

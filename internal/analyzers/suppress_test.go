@@ -1,0 +1,92 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestMissingReasonIsMalformed(t *testing.T) {
+	// A reasonless waiver can't be exercised via // want comments —
+	// appending one would itself become the reason — so it is pinned
+	// here.
+	p := parsePkg(t, "package p\n\n//iqbvet:ignore walltime\n\nfunc f() {}\n")
+	sup, diags := collectSuppressions(p, map[string]bool{"walltime": true})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "iqbvet" || !strings.Contains(diags[0].Message, "malformed suppression") {
+		t.Errorf("unexpected diagnostic: %v", diags[0])
+	}
+	if len(sup.line["p.go"]) != 0 {
+		t.Errorf("malformed waiver still registered a suppression: %v", sup.line)
+	}
+}
+
+func TestLineIgnoreCoversCommentAndNextLine(t *testing.T) {
+	p := parsePkg(t, strings.Join([]string{
+		"package p",
+		"",
+		"//iqbvet:ignore walltime pinned reason", // line 3
+		"func f() {}",                            // line 4
+		"func g() {}",                            // line 5
+	}, "\n")+"\n")
+	sup, diags := collectSuppressions(p, map[string]bool{"walltime": true})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	at := func(line int, analyzer string) bool {
+		return sup.suppressed(Diagnostic{
+			Pos:      token.Position{Filename: "p.go", Line: line},
+			Analyzer: analyzer,
+		})
+	}
+	if !at(3, "walltime") || !at(4, "walltime") {
+		t.Error("ignore should cover its own line and the line below")
+	}
+	if at(5, "walltime") {
+		t.Error("ignore must not reach two lines down")
+	}
+	if at(4, "lockio") {
+		t.Error("ignore must only cover the named analyzer")
+	}
+}
+
+func TestFileIgnoreCoversWholeFile(t *testing.T) {
+	p := parsePkg(t, "package p\n\n//iqbvet:file-ignore lockio test-double file\n\nfunc f() {}\n")
+	sup, diags := collectSuppressions(p, map[string]bool{"lockio": true})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	d := Diagnostic{Pos: token.Position{Filename: "p.go", Line: 99}, Analyzer: "lockio"}
+	if !sup.suppressed(d) {
+		t.Error("file-ignore should cover every line of the file")
+	}
+	d.Analyzer = "walltime"
+	if sup.suppressed(d) {
+		t.Error("file-ignore must only cover the named analyzer")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 7, Column: 3},
+		Analyzer: "maprange",
+		Message:  "boom",
+	}
+	if got, want := d.String(), "a/b.go:7:3: [maprange] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

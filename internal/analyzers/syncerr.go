@@ -1,0 +1,240 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SyncErr flags discarded errors from durability-critical calls in the
+// packages that write under -data-dir (and the exporters next to
+// them): Sync and Truncate anywhere in scope, and Close on write-path
+// files. An unobserved fsync error is exactly the durability hole the
+// WAL's wedge logic guards against — the write is acknowledged but the
+// kernel may have dropped the pages — and a swallowed Close on a file
+// opened for writing can hide the final flush failing.
+//
+// A discard is an expression statement, a defer/go statement, or an
+// assignment of every result to the blank identifier. Close is only
+// flagged when the receiver is plausibly a write path: a file opened
+// writable in the same function (os.Create, or OpenFile with a
+// writing flag — including through persist's walFS seam), an os.File
+// of unknown origin, or a type declared in internal/persist (whose
+// Close methods flush and sync). Files opened read-only in the same
+// function are exempt.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc: "discarded error from Sync/Truncate, or from Close on a write-path file, in the packages " +
+		"that persist data; join the error into the return path or document why losing it is safe",
+	Scope: []string{
+		"iqb/internal/persist",
+		"iqb/internal/report",
+		"iqb/internal/dataset",
+		"iqb/cmd/iqbserver",
+		"iqb/cmd/iqb",
+		"iqb/cmd/iqbgen",
+		"iqb/cmd/iqbsim",
+	},
+	Run: runSyncErr,
+}
+
+func runSyncErr(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			origins := collectFileOrigins(pass.Info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					checkDiscard(pass, origins, s.X, "")
+				case *ast.DeferStmt:
+					checkDiscard(pass, origins, s.Call, "deferred ")
+				case *ast.GoStmt:
+					checkDiscard(pass, origins, s.Call, "")
+				case *ast.AssignStmt:
+					if allBlank(s.Lhs) {
+						for _, rhs := range s.Rhs {
+							checkDiscard(pass, origins, rhs, "")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+// fileOrigin records how a variable holding a file (or file-like
+// value) was obtained in this function.
+type fileOrigin int
+
+const (
+	originUnknown fileOrigin = iota
+	originReadOnly
+	originWrite
+)
+
+// collectFileOrigins scans a function body for `f, err := os.Open(...)`
+// shapes (direct os calls or any method named Open/OpenFile/Create,
+// which covers persist's walFS seam) and classifies each assigned
+// variable as read-only or writable.
+func collectFileOrigins(info *types.Info, body *ast.BlockStmt) map[types.Object]fileOrigin {
+	origins := map[types.Object]fileOrigin{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		var origin fileOrigin
+		switch fn.Name() {
+		case "Open":
+			origin = originReadOnly
+		case "Create", "CreateTemp":
+			origin = originWrite
+		case "OpenFile":
+			origin = originReadOnly
+			if len(call.Args) >= 2 && hasWriteFlag(call.Args[1]) {
+				origin = originWrite
+			}
+		default:
+			return true
+		}
+		if fn.Pkg() == nil || (fn.Pkg().Path() != "os" && sigOf(fn).Recv() == nil) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			origins[obj] = origin
+		}
+		return true
+	})
+	return origins
+}
+
+// hasWriteFlag reports whether the flags expression mentions any
+// os.O_* writing mode.
+func hasWriteFlag(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+				found = true
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			switch id.Name {
+			case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkDiscard(pass *Pass, origins map[types.Object]fileOrigin, e ast.Expr, how string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeOf(pass.Info, call)
+	if fn == nil || sigOf(fn).Recv() == nil || !returnsError(fn) {
+		return
+	}
+	switch fn.Name() {
+	case "Sync", "Truncate":
+		pass.Reportf(call.Pos(), "%s%s error discarded; a lost %s error is a silent durability hole", how, fn.Name(), fn.Name())
+	case "Close":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		recvObj := baseIdentObj(pass.Info, sel.X)
+		if recvObj != nil {
+			switch origins[recvObj] {
+			case originReadOnly:
+				return
+			case originWrite:
+				pass.Reportf(call.Pos(), "%sClose error discarded on a file opened for writing; join it into the error path", how)
+				return
+			}
+		}
+		if closableWritePath(pass, fn) {
+			pass.Reportf(call.Pos(), "%sClose error discarded on a write-path %s; join it into the error path", how, recvTypeName(fn))
+		}
+	}
+}
+
+func returnsError(fn *types.Func) bool {
+	res := sigOf(fn).Results()
+	if res.Len() != 1 {
+		return false
+	}
+	named, ok := res.At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// closableWritePath reports whether a Close receiver of unknown origin
+// is still worth flagging: os.File values (conservatively — the
+// read-only ones are exempted by origin tracking) and anything
+// declared in internal/persist, whose Close methods flush WAL queues
+// and sync.
+func closableWritePath(pass *Pass, fn *types.Func) bool {
+	recv := sigOf(fn).Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if isNamed(named, "os", "File") {
+		return true
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "iqb/internal/persist" || strings.HasPrefix(p, "iqb/internal/persist/") ||
+		// In testdata and in persist itself the walFile seam is an
+		// interface; Close on any interface declared in the analyzed
+		// package counts when that package is in scope.
+		(types.IsInterface(named.Underlying()) && p == pass.Pkg.Path())
+}
+
+func recvTypeName(fn *types.Func) string {
+	recv := sigOf(fn).Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "value"
+}

@@ -1,0 +1,107 @@
+// Package maprange is the executable specification of the maprange
+// rule: positives carry want comments, negatives carry nothing, and
+// the suppressed case documents that //iqbvet:ignore is honored.
+package maprange
+
+import (
+	"sort"
+	"strings"
+)
+
+// sketch stands in for the repo's aggregation state: module-local
+// types with ingestion-shaped methods.
+type sketch struct{ vals []float64 }
+
+func (s *sketch) Add(v float64)     { s.vals = append(s.vals, v) }
+func (s *sketch) Quantile() float64 { return 0 }
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out in map iteration order`
+	}
+	return out
+}
+
+func goodSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badString(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string built in map iteration order`
+	}
+	return s
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s = s + k // want `string built in map iteration order`
+	}
+	return s
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b.WriteString in map iteration order`
+	}
+	return b.String()
+}
+
+func badIngest(m map[string]float64) *sketch {
+	sk := &sketch{}
+	for _, v := range m {
+		sk.Add(v) // want `sk.Add called in map iteration order`
+	}
+	return sk
+}
+
+func suppressedIngest(m map[string]float64) *sketch {
+	sk := &sketch{}
+	for _, v := range m {
+		//iqbvet:ignore maprange this sketch is order-independent by construction
+		sk.Add(v)
+	}
+	return sk
+}
+
+// goodLoopLocal ingests into per-key state declared inside the loop:
+// nothing outlives an iteration in a way order can leak through.
+func goodLoopLocal(m map[string][]float64) map[string]*sketch {
+	out := map[string]*sketch{}
+	for k, vs := range m {
+		sk := &sketch{}
+		for _, v := range vs {
+			sk.Add(v)
+		}
+		out[k] = sk
+	}
+	return out
+}
+
+// goodMapWrite accumulates into a map, which is order-independent.
+func goodMapWrite(m map[string]int) map[string]int {
+	counts := map[string]int{}
+	for k, v := range m {
+		counts[k] += v
+	}
+	return counts
+}
+
+// goodSliceRange is not a map range at all — the sorted-keys idiom
+// lands here after goodSortedAfter.
+func goodSliceRange(xs []float64) *sketch {
+	sk := &sketch{}
+	for _, v := range xs {
+		sk.Add(v)
+	}
+	return sk
+}

@@ -1,0 +1,13 @@
+package suppress
+
+//iqbvet:file-ignore walltime this file demonstrates the file-wide waiver
+
+import "time"
+
+func waivedNow() time.Time {
+	return time.Now()
+}
+
+func waivedSince(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

@@ -1,0 +1,12 @@
+// Package suppress exercises the suppression machinery itself:
+// malformed waivers are reported, and a file-wide waiver silences a
+// whole file (see fileignore.go). Missing-reason forms are covered by
+// a unit test, since appending a want comment would itself become the
+// reason.
+package suppress
+
+//iqbvet:ignore nosuchrule some reason // want `malformed suppression`
+
+//iqbvet:file-ignore nosuchrule some reason // want `malformed suppression`
+
+func unrelated() int { return 1 }

@@ -1,0 +1,97 @@
+// Package syncerr is the executable specification of the syncerr rule.
+package syncerr
+
+import (
+	"errors"
+	"os"
+)
+
+// segFile mirrors persist's walFile seam: Close on an interface
+// declared in the analyzed package is write-path by definition.
+type segFile interface {
+	Close() error
+}
+
+// plainCloser is a module struct with a Close method; unlike the
+// interface seam it is not assumed to be a write path.
+type plainCloser struct{}
+
+func (plainCloser) Close() error { return nil }
+
+func badSync(f *os.File) {
+	f.Sync() // want `Sync error discarded`
+}
+
+func badBlankSync(f *os.File) {
+	_ = f.Sync() // want `Sync error discarded`
+}
+
+func badTruncate(f *os.File) {
+	f.Truncate(0) // want `Truncate error discarded`
+}
+
+func badDeferredCloseOnWrite(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close error discarded on a file opened for writing`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func badCloseAfterOpenFileWrite(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `Close error discarded on a file opened for writing`
+	return nil
+}
+
+func badCloseUnknownOsFile(f *os.File) {
+	f.Close() // want `Close error discarded on a write-path File`
+}
+
+func badSegFileClose(f segFile) {
+	f.Close() // want `Close error discarded on a write-path segFile`
+}
+
+func goodReadOnlyClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func goodPlainCloserClose(c plainCloser) {
+	c.Close()
+}
+
+func goodJoinedClose(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		err = errors.Join(err, f.Close())
+	}()
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func goodCheckedSync(f *os.File) error {
+	return f.Sync()
+}
+
+func suppressedAbandon(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//iqbvet:ignore syncerr the file is being abandoned and removed; a close failure cannot lose data
+	f.Close()
+	os.Remove(path)
+}

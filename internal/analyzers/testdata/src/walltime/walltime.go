@@ -1,0 +1,51 @@
+// Package walltime is the executable specification of the walltime
+// rule.
+package walltime
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func badNow() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `math/rand.Intn draws from process-global random state`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle draws from process-global random state`
+}
+
+func badCryptoRand(p []byte) error {
+	_, err := crand.Read(p) // want `crypto/rand is non-deterministic`
+	return err
+}
+
+// goodSeeded threads an explicit source, which is the deterministic
+// shape the rule exists to push code toward.
+func goodSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// goodConstructedTime builds a time value without reading the clock.
+func goodConstructedTime() time.Time {
+	return time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func suppressedTelemetry() time.Time {
+	//iqbvet:ignore walltime wall-clock telemetry only; no simulation state depends on it
+	return time.Now()
+}

@@ -1,0 +1,78 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// WallTime flags reads of the wall clock and uses of global random
+// state in the simulation and scoring packages, where the world must
+// be a pure function of the seed: time.Now/Since/Until (and the
+// timer/sleep constructors), package-level math/rand and
+// math/rand/v2 functions (which draw from the process-global,
+// time-seeded source), and crypto/rand. The internal/rng package
+// exists precisely so none of these are needed there — every
+// component forks a deterministic child stream instead.
+//
+// Explicitly seeded generators (rand.New(rand.NewSource(seed)) and
+// methods on *rand.Rand) are not flagged; neither are the time
+// constructors (time.Date, time.Unix) that build values instead of
+// reading the clock.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "wall-clock reads (time.Now/Since/Until/Sleep) or global rand in deterministic simulation/scoring " +
+		"packages; thread a seeded rng.Source or an explicit timestamp instead, or document the telemetry exception",
+	Scope: []string{
+		"iqb/internal/netem",
+		"iqb/internal/geo",
+		"iqb/internal/pipeline",
+		"iqb/internal/iqb",
+		"iqb/internal/rng",
+		"iqb/internal/tcpmodel",
+		"iqb/internal/stats",
+		"iqb/internal/dataset",
+	},
+	Run: runWallTime,
+}
+
+// wallClockFuncs are the package-level time functions that read (or
+// schedule against) the real clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand constructors that take an explicit
+// source or seed and are therefore deterministic to call.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || sigOf(fn).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; the world must be a pure function of the seed", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "%s.%s draws from process-global random state; fork a seeded rng.Source instead", fn.Pkg().Path(), fn.Name())
+				}
+			case "crypto/rand":
+				pass.Reportf(call.Pos(), "crypto/rand is non-deterministic; fork a seeded rng.Source instead")
+			}
+			return true
+		})
+	}
+}

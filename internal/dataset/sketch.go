@@ -191,6 +191,7 @@ func (s *Sketcher) Quantile(ds, regionPrefix string, m Metric, q float64) (float
 			if regionPrefix != "" && !regionMatch(regionPrefix, k.region) {
 				continue
 			}
+			//iqbvet:ignore maprange cellAccum is order-independent: exact values are sorted at quantile time, sketch merges are commutative
 			if err := acc.add(c, s.alpha); err != nil {
 				st.mu.RUnlock()
 				return 0, 0, err

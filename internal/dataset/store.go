@@ -609,6 +609,7 @@ func (s *Store) AggregateCount(f Filter, m Metric, q float64) (float64, int, err
 			if f.RegionPrefix != "" && !regionMatch(f.RegionPrefix, k.region) {
 				continue
 			}
+			//iqbvet:ignore maprange cellAccum is order-independent: exact values are sorted at quantile time, sketch merges are commutative
 			if err := acc.add(c, s.alpha); err != nil {
 				sh.mu.RUnlock()
 				return 0, 0, err

@@ -109,9 +109,10 @@ func Open(dir string, o Options) (*Manager, error) {
 		return nil, err
 	}
 	if hasSnap && log.Offset() < man.WALOffset {
-		log.Close()
-		return nil, fmt.Errorf("persist: WAL ends at record %d but the snapshot covers %d (missing WAL segments)",
-			log.Offset(), man.WALOffset)
+		return nil, errors.Join(
+			fmt.Errorf("persist: WAL ends at record %d but the snapshot covers %d (missing WAL segments)",
+				log.Offset(), man.WALOffset),
+			log.Close())
 	}
 
 	store := dataset.NewStoreWith(o.Store)
@@ -119,8 +120,7 @@ func Open(dir string, o Options) (*Manager, error) {
 		growBytes: o.SnapshotWALBytes, growthC: make(chan struct{}, 1)}
 	if hasSnap {
 		if err := store.AddBatch(rs); err != nil {
-			log.Close()
-			return nil, fmt.Errorf("persist: loading snapshot into store: %w", err)
+			return nil, errors.Join(fmt.Errorf("persist: loading snapshot into store: %w", err), log.Close())
 		}
 		m.snapOffset = man.WALOffset
 		m.snapRecords = man.Records
@@ -144,8 +144,7 @@ func Open(dir string, o Options) (*Manager, error) {
 		return nil
 	})
 	if err != nil {
-		log.Close()
-		return nil, fmt.Errorf("persist: replaying WAL: %w", err)
+		return nil, errors.Join(fmt.Errorf("persist: replaying WAL: %w", err), log.Close())
 	}
 	// Only now install the tee: replayed batches must not be re-logged.
 	// The tee joins the store's ordered hook chain, so other observers

@@ -64,28 +64,27 @@ func writeSnapshot(dir string, rs []dataset.Record, walOffset uint64, now time.T
 	if err != nil {
 		return SnapshotInfo{}, fmt.Errorf("persist: creating snapshot temp: %w", err)
 	}
+	// fail abandons the temp file, keeping its close error alongside the
+	// one that got us here.
+	fail := func(ferr error) (SnapshotInfo, error) {
+		cerr := f.Close()
+		os.Remove(tmp)
+		return SnapshotInfo{}, errors.Join(ferr, cerr)
+	}
 	crc := crc32.New(crcTable)
 	bw := bufio.NewWriterSize(io.MultiWriter(f, crc), 256<<10)
 	if err := dataset.WriteNDJSON(bw, rs); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return SnapshotInfo{}, fmt.Errorf("persist: encoding snapshot: %w", err)
+		return fail(fmt.Errorf("persist: encoding snapshot: %w", err))
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return SnapshotInfo{}, fmt.Errorf("persist: flushing snapshot: %w", err)
+		return fail(fmt.Errorf("persist: flushing snapshot: %w", err))
 	}
 	size, err := f.Seek(0, io.SeekCurrent)
 	if err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return SnapshotInfo{}, fmt.Errorf("persist: sizing snapshot: %w", err)
+		return fail(fmt.Errorf("persist: sizing snapshot: %w", err))
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return SnapshotInfo{}, fmt.Errorf("persist: syncing snapshot: %w", err)
+		return fail(fmt.Errorf("persist: syncing snapshot: %w", err))
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -137,15 +136,16 @@ func writeFileSync(path string, body []byte) error {
 	if err != nil {
 		return fmt.Errorf("persist: creating %s: %w", filepath.Base(path), err)
 	}
-	if _, err := f.Write(body); err != nil {
-		f.Close()
+	fail := func(ferr error) error {
+		cerr := f.Close()
 		os.Remove(path)
-		return fmt.Errorf("persist: writing %s: %w", filepath.Base(path), err)
+		return errors.Join(ferr, cerr)
+	}
+	if _, err := f.Write(body); err != nil {
+		return fail(fmt.Errorf("persist: writing %s: %w", filepath.Base(path), err))
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(path)
-		return fmt.Errorf("persist: syncing %s: %w", filepath.Base(path), err)
+		return fail(fmt.Errorf("persist: syncing %s: %w", filepath.Base(path), err))
 	}
 	return f.Close()
 }

@@ -187,6 +187,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//iqbvet:ignore walltime Elapsed is wall-clock telemetry only; no simulation or scoring state depends on it
 	started := time.Now()
 
 	// Deterministic job list: per county, per dataset, a Poisson-ish
@@ -286,9 +287,10 @@ feed:
 	}
 
 	return &Result{
-		World:   world,
-		Store:   store,
-		Counts:  store.DatasetCounts(),
+		World:  world,
+		Store:  store,
+		Counts: store.DatasetCounts(),
+		//iqbvet:ignore walltime Elapsed is wall-clock telemetry only; no simulation or scoring state depends on it
 		Elapsed: time.Since(started),
 	}, nil
 }

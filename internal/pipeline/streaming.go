@@ -50,6 +50,7 @@ func RunStreaming(ctx context.Context, spec Spec) (*StreamingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	//iqbvet:ignore walltime Elapsed is wall-clock telemetry only; no simulation or scoring state depends on it
 	started := time.Now()
 
 	jobs := buildJobs(world, spec)
@@ -145,7 +146,8 @@ feed:
 		World:    world,
 		Sketch:   sketch,
 		Ingested: ingested,
-		Elapsed:  time.Since(started),
+		//iqbvet:ignore walltime Elapsed is wall-clock telemetry only; no simulation or scoring state depends on it
+		Elapsed: time.Since(started),
 	}, nil
 }
 

@@ -54,19 +54,20 @@ func WriteScoresCSV(w io.Writer, scores map[string]iqb.Score) error {
 // WriteScoreMarkdown exports one region's score breakdown as a markdown
 // document with the use-case table and per-requirement detail.
 func WriteScoreMarkdown(w io.Writer, region string, s iqb.Score) error {
-	fmt.Fprintf(w, "# IQB score: %s\n\n", region)
-	fmt.Fprintf(w, "**Score %.3f — grade %s** (quality bar: %s, cell coverage %.0f%%)\n\n",
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "# IQB score: %s\n\n", region)
+	fmt.Fprintf(ew, "**Score %.3f — grade %s** (quality bar: %s, cell coverage %.0f%%)\n\n",
 		s.IQB, s.Grade, s.Quality, s.Coverage*100)
-	fmt.Fprintln(w, "| Use case | Score | Weight |")
-	fmt.Fprintln(w, "|---|---:|---:|")
+	fmt.Fprintln(ew, "| Use case | Score | Weight |")
+	fmt.Fprintln(ew, "|---|---:|---:|")
 	for _, uc := range s.UseCases {
-		fmt.Fprintf(w, "| %s | %.3f | %d |\n", uc.Name, uc.Score, uc.Weight)
+		fmt.Fprintf(ew, "| %s | %.3f | %d |\n", uc.Name, uc.Score, uc.Weight)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(ew)
 	for _, uc := range s.UseCases {
-		fmt.Fprintf(w, "## %s (%.3f)\n\n", uc.Name, uc.Score)
-		fmt.Fprintln(w, "| Requirement | Agreement | Dataset | Aggregate | Threshold | Verdict |")
-		fmt.Fprintln(w, "|---|---:|---|---:|---:|---|")
+		fmt.Fprintf(ew, "## %s (%.3f)\n\n", uc.Name, uc.Score)
+		fmt.Fprintln(ew, "| Requirement | Agreement | Dataset | Aggregate | Threshold | Verdict |")
+		fmt.Fprintln(ew, "|---|---:|---|---:|---:|---|")
 		for _, rs := range uc.Requirements {
 			for i, cell := range rs.Datasets {
 				reqCol, agrCol := "", ""
@@ -87,13 +88,29 @@ func WriteScoreMarkdown(w io.Writer, region string, s iqb.Score) error {
 				if !cell.Missing {
 					agg = fmt.Sprintf("%.3f", cell.Aggregate)
 				}
-				fmt.Fprintf(w, "| %s | %s | %s | %s | %.3f | %s |\n",
+				fmt.Fprintf(ew, "| %s | %s | %s | %s | %.3f | %s |\n",
 					reqCol, agrCol, cell.Dataset, agg, cell.Threshold, verdict)
 			}
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(ew)
 	}
-	return nil
+	return ew.err
+}
+
+// errWriter latches the first write error so the markdown writer does
+// not silently emit a truncated document.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
 }
 
 // WriteTimeSeriesCSV exports a score time series as CSV.
@@ -117,5 +134,3 @@ func WriteTimeSeriesCSV(w io.Writer, points []iqb.TimePoint) error {
 	cw.Flush()
 	return cw.Error()
 }
-
-
