@@ -6,11 +6,22 @@
 //	iqbserver [-addr 127.0.0.1:8600] [-seed 42] [-tests 120]
 //	          [-data-dir DIR] [-snapshot-interval 5m] [-snapshot-wal-bytes N]
 //	          [-wal-segment-bytes N] [-wal-group-window D]
-//	          [-score-cache=true] [-cache-stats 0]
+//	          [-score-cache=true] [-cache-stats 0] [-metrics=true]
 //
 // Endpoints: /v1/health /v1/config /v1/regions /v1/score?region=R
 // (optional from/to RFC 3339 window bounds) /v1/ranking /v1/datasets,
-// plus POST /v1/snapshot with -data-dir.
+// plus POST /v1/snapshot with -data-dir, plus GET /metrics unless
+// -metrics=false.
+//
+// With -metrics (the default), the server exposes its own telemetry at
+// GET /metrics in Prometheus text format: per-endpoint request counts,
+// in-flight gauges, and latency quantiles served from the repo's own
+// DDSketch; WAL append/fsync/rollback counters with fsync-latency and
+// group-fold-size distributions; snapshot trigger counts and replay
+// debt; and score-cache hit/miss/eviction counters. Every collector
+// reads lock-free counters, so a scrape never stalls behind an
+// in-flight WAL fsync. -metrics=false serves no /metrics route and
+// registers no instruments.
 //
 // Memory-only (no -data-dir) boots re-simulate the world every start.
 // With -data-dir, the first boot runs the pipeline into a WAL-backed
@@ -67,6 +78,7 @@ import (
 	"iqb/internal/persist"
 	"iqb/internal/pipeline"
 	"iqb/internal/scorecache"
+	"iqb/internal/telemetry"
 )
 
 func main() {
@@ -85,6 +97,9 @@ type bootOptions struct {
 	groupWindow time.Duration
 	// snapshotWALBytes arms the WAL-growth snapshot trigger (0 off).
 	snapshotWALBytes int64
+	// metrics instruments the WAL and snapshot manager; nil runs them
+	// uninstrumented.
+	metrics *telemetry.Registry
 }
 
 // persistOptions translates boot flags into the durable store's
@@ -93,6 +108,7 @@ func (o bootOptions) persistOptions() persist.Options {
 	po := persist.Options{
 		SegmentBytes:     o.segmentBytes,
 		SnapshotWALBytes: o.snapshotWALBytes,
+		Metrics:          o.metrics,
 	}
 	if o.groupWindow < 0 {
 		po.NoGroupCommit = true
@@ -286,10 +302,19 @@ func run(args []string) error {
 	groupWindow := fs.Duration("wal-group-window", 0, "extra time a WAL group commit waits for more writers before its shared fsync (0 coalesces only natural pileups; negative disables group commit)")
 	useCache := fs.Bool("score-cache", true, "serve /v1/score and /v1/ranking from the ingest-invalidated score cache")
 	cacheStats := fs.Duration("cache-stats", 0, "score-cache stats logging period (0 disables)")
+	metricsOn := fs.Bool("metrics", true, "serve self-telemetry at GET /metrics (Prometheus text format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	// The registry is created before the world so the WAL and snapshot
+	// manager register their collectors at open time — recovery fsyncs
+	// and the initial snapshot are counted too.
+	var reg *telemetry.Registry
+	if *metricsOn {
+		reg = telemetry.NewRegistry()
+	}
 
 	spec := pipeline.DefaultSpec()
 	spec.Seed = *seed
@@ -299,6 +324,7 @@ func run(args []string) error {
 		segmentBytes:     *segBytes,
 		groupWindow:      *groupWindow,
 		snapshotWALBytes: *snapWALBytes,
+		metrics:          reg,
 	})
 	if err != nil {
 		return err
@@ -333,11 +359,16 @@ func run(args []string) error {
 			return err
 		}
 		defer cache.Close()
+		cache.RegisterMetrics(reg)
 		api.SetScoreCache(cache)
 		logger.Info("score cache enabled", "config_hash", cache.ConfigHash())
 		if *cacheStats > 0 {
 			go cacheStatsLoop(ctx, logger, cache, *cacheStats)
 		}
+	}
+	if reg != nil {
+		api.SetMetrics(reg)
+		logger.Info("telemetry enabled", "endpoint", "GET /metrics")
 	}
 	srv := &http.Server{
 		Addr:              *addr,

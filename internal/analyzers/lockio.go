@@ -8,7 +8,7 @@ import (
 // LockIO flags blocking I/O reached while a sync.Mutex or sync.RWMutex
 // is held: os.File method calls, filesystem calls in package os,
 // net dials and listens (and any net type's methods), interface
-// methods named Sync or Truncate (the shape of persist's walFile), and
+// methods named Sync or Truncate (the shape of persist's WALFile), and
 // time.Sleep. Holding a lock across disk or network latency is the
 // invariant the persist group-commit redesign exists to preserve —
 // one fsync under a shared lock parks every other reader and writer

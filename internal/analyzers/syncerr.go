@@ -18,7 +18,7 @@ import (
 // assignment of every result to the blank identifier. Close is only
 // flagged when the receiver is plausibly a write path: a file opened
 // writable in the same function (os.Create, or OpenFile with a
-// writing flag — including through persist's walFS seam), an os.File
+// writing flag — including through persist's WALFS seam), an os.File
 // of unknown origin, or a type declared in internal/persist (whose
 // Close methods flush and sync). Files opened read-only in the same
 // function are exempt.
@@ -89,7 +89,7 @@ const (
 
 // collectFileOrigins scans a function body for `f, err := os.Open(...)`
 // shapes (direct os calls or any method named Open/OpenFile/Create,
-// which covers persist's walFS seam) and classifies each assigned
+// which covers persist's WALFS seam) and classifies each assigned
 // variable as read-only or writable.
 func collectFileOrigins(info *types.Info, body *ast.BlockStmt) map[types.Object]fileOrigin {
 	origins := map[types.Object]fileOrigin{}
@@ -222,7 +222,7 @@ func closableWritePath(pass *Pass, fn *types.Func) bool {
 	}
 	p := named.Obj().Pkg().Path()
 	return p == "iqb/internal/persist" || strings.HasPrefix(p, "iqb/internal/persist/") ||
-		// In testdata and in persist itself the walFile seam is an
+		// In testdata and in persist itself the WALFile seam is an
 		// interface; Close on any interface declared in the analyzed
 		// package counts when that package is in scope.
 		(types.IsInterface(named.Underlying()) && p == pass.Pkg.Path())

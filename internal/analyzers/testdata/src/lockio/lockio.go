@@ -13,7 +13,7 @@ type store struct {
 	f  *os.File
 }
 
-// segFile mirrors persist's walFile seam: an interface whose Sync is
+// segFile mirrors persist's WALFile seam: an interface whose Sync is
 // an fsync.
 type segFile interface {
 	Write(p []byte) (int, error)

@@ -6,7 +6,7 @@ import (
 	"os"
 )
 
-// segFile mirrors persist's walFile seam: Close on an interface
+// segFile mirrors persist's WALFile seam: Close on an interface
 // declared in the analyzed package is write-path by definition.
 type segFile interface {
 	Close() error

@@ -214,6 +214,24 @@ func TestHealthReportsCache(t *testing.T) {
 		t.Fatalf("cache stats = %+v", h.Cache)
 	}
 
+	// An invalidating batch shows up in the health counters too: the
+	// commit is observed and the cached entry it covers is evicted.
+	rec := dataset.NewRecord("inv-health", "ndt", "XA-01-001", time.Date(2025, 6, 1, 18, 0, 0, 0, time.UTC))
+	rec.DownloadMbps = 4
+	rec.UploadMbps = 0.5
+	rec.LatencyMS = 250
+	rec.LossFrac = 0.05
+	if err := store.AddBatch([]dataset.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	h, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache.Invalidations != 1 || h.Cache.Evictions != 1 {
+		t.Fatalf("post-ingest cache stats = %+v, want 1 invalidation and 1 eviction", h.Cache)
+	}
+
 	// Memory-only-style server without a cache: block absent.
 	plain := newAPIServer(t)
 	h2, err := (&Client{BaseURL: plain.URL}).Health(ctx)

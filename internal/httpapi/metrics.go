@@ -1,0 +1,63 @@
+package httpapi
+
+import (
+	"net/http"
+	"strings"
+
+	"iqb/internal/telemetry"
+)
+
+// endpointMetrics holds one route's instruments.
+type endpointMetrics struct {
+	requests *telemetry.Counter
+	inFlight *telemetry.Gauge
+	latency  *telemetry.Histogram
+}
+
+// observeLatency records one request's elapsed seconds; a nil receiver
+// (uninstrumented server, or a 404 no route claimed) is a no-op.
+func (em *endpointMetrics) observeLatency(seconds float64) {
+	if em == nil {
+		return
+	}
+	em.latency.Observe(seconds)
+}
+
+// trackedWriter is the per-request carrier between the route middleware
+// and ServeHTTP: the middleware stamps which endpoint served the
+// request so the outer handler can attribute its single elapsed
+// measurement to that endpoint's histogram.
+type trackedWriter struct {
+	http.ResponseWriter
+	endpoint *endpointMetrics
+}
+
+// SetMetrics attaches a telemetry registry (nil detaches it). Call
+// before serving — the endpoint map is built here and only read
+// afterwards. With a registry attached, every route gains a request
+// counter, in-flight gauge, and DDSketch-backed latency summary
+// (labelled by method and path), and the registry itself is served at
+// GET /metrics in Prometheus text exposition format. The /metrics
+// route is not self-instrumented: a scrape reports on the server, not
+// on itself.
+func (s *Server) SetMetrics(r *telemetry.Registry) {
+	if r == nil {
+		s.endpoints = nil
+		return
+	}
+	eps := make(map[string]*endpointMetrics, len(s.patterns))
+	for _, pat := range s.patterns {
+		method, path, _ := strings.Cut(pat, " ")
+		labels := telemetry.Labels{"method": method, "path": path}
+		eps[pat] = &endpointMetrics{
+			requests: r.Counter("iqb_http_requests_total",
+				"HTTP requests served, by endpoint.", labels),
+			inFlight: r.Gauge("iqb_http_in_flight",
+				"HTTP requests currently being served, by endpoint.", labels),
+			latency: r.Histogram("iqb_http_request_seconds",
+				"HTTP request latency by endpoint (same measurement as the request log line).", labels),
+		}
+	}
+	s.endpoints = eps
+	s.mux.Handle("GET /metrics", r.Handler())
+}

@@ -51,13 +51,19 @@ type Persistence interface {
 
 // Server bundles the scored world behind an http.Handler.
 type Server struct {
-	cfg     iqb.Config
-	store   *dataset.Store
-	db      *geo.DB
-	log     *slog.Logger
-	mux     *http.ServeMux
-	persist Persistence
-	cache   *scorecache.Cache
+	cfg      iqb.Config
+	store    *dataset.Store
+	db       *geo.DB
+	log      *slog.Logger
+	mux      *http.ServeMux
+	persist  Persistence
+	cache    *scorecache.Cache
+	patterns []string // mux patterns registered via handle, for SetMetrics
+
+	// endpoints maps a mux pattern to its instruments. Built once by
+	// SetMetrics before serving, then only read; nil when the server
+	// runs uninstrumented.
+	endpoints map[string]*endpointMetrics
 
 	// scoreOverride substitutes the scoring function in tests (e.g. to
 	// inject per-region failures); nil in production.
@@ -76,15 +82,36 @@ func New(cfg iqb.Config, store *dataset.Store, db *geo.DB, logger *slog.Logger) 
 		logger = slog.Default()
 	}
 	s := &Server{cfg: cfg, store: store, db: db, log: logger, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/config", s.handleConfig)
-	s.mux.HandleFunc("GET /v1/regions", s.handleRegions)
-	s.mux.HandleFunc("GET /v1/score", s.handleScore)
-	s.mux.HandleFunc("GET /v1/ranking", s.handleRanking)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.handle("GET /v1/health", s.handleHealth)
+	s.handle("GET /v1/config", s.handleConfig)
+	s.handle("GET /v1/regions", s.handleRegions)
+	s.handle("GET /v1/score", s.handleScore)
+	s.handle("GET /v1/ranking", s.handleRanking)
+	s.handle("GET /v1/datasets", s.handleDatasets)
+	s.handle("POST /v1/snapshot", s.handleSnapshot)
 	s.registerTimeSeries()
 	return s, nil
+}
+
+// handle registers a route through the instrumentation middleware: the
+// wrapper knows its pattern (the CI toolchain predates http.Request
+// .Pattern), bumps the endpoint's request counter and in-flight gauge,
+// and tags the response writer so ServeHTTP can feed the one elapsed
+// measurement it already takes for the log line into the endpoint's
+// latency histogram — logged and exported latencies cannot diverge.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.patterns = append(s.patterns, pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if em := s.endpoints[pattern]; em != nil {
+			em.requests.Inc()
+			em.inFlight.Inc()
+			defer em.inFlight.Dec()
+			if tw, ok := w.(*trackedWriter); ok {
+				tw.endpoint = em
+			}
+		}
+		h(w, r)
+	})
 }
 
 // SetPersistence attaches the durable-store control surface (nil
@@ -112,17 +139,23 @@ func (s *Server) scoreRegion(region string, from, to time.Time) (iqb.Score, erro
 	return s.cfg.ScoreRegion(s.store, region, from, to)
 }
 
-// ServeHTTP implements http.Handler with logging and panic recovery.
+// ServeHTTP implements http.Handler with logging, panic recovery, and
+// latency attribution: the elapsed time is measured exactly once and
+// feeds both the request log line and the serving endpoint's latency
+// histogram, so logged and exported latencies cannot disagree.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tw := &trackedWriter{ResponseWriter: w}
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.log.Error("panic in handler", "path", r.URL.Path, "panic", rec)
 			writeError(w, http.StatusInternalServerError, "internal error")
 		}
 	}()
-	s.mux.ServeHTTP(w, r)
-	s.log.Info("request", "method", r.Method, "path", r.URL.Path, "elapsed", time.Since(start))
+	s.mux.ServeHTTP(tw, r)
+	elapsed := time.Since(start)
+	tw.endpoint.observeLatency(elapsed.Seconds())
+	s.log.Info("request", "method", r.Method, "path", r.URL.Path, "elapsed", elapsed)
 }
 
 // errorBody is the uniform error envelope.

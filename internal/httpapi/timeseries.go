@@ -15,8 +15,8 @@ import (
 
 // registerTimeSeries wires the temporal endpoints; called from New.
 func (s *Server) registerTimeSeries() {
-	s.mux.HandleFunc("GET /v1/timeseries", s.handleTimeSeries)
-	s.mux.HandleFunc("GET /v1/hourly", s.handleHourly)
+	s.handle("GET /v1/timeseries", s.handleTimeSeries)
+	s.handle("GET /v1/hourly", s.handleHourly)
 }
 
 // TimeSeriesResponse wraps a windowed score series.

@@ -27,7 +27,7 @@ import (
 func TestGroupAppendErrorFansOutToAllWaiters(t *testing.T) {
 	dir := t.TempDir()
 	fs := newFaultFS()
-	l, err := OpenLog(dir, Options{GroupWindow: 200 * time.Millisecond, fs: fs})
+	l, err := OpenLog(dir, Options{GroupWindow: 200 * time.Millisecond, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestGroupAppendErrorFansOutToAllWaiters(t *testing.T) {
 func TestKillPointMidFrameReopensRecoverable(t *testing.T) {
 	dir := t.TempDir()
 	fs := newFaultFS()
-	l, err := OpenLog(dir, Options{fs: fs})
+	l, err := OpenLog(dir, Options{FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestWedgedLogFailsLoudlyUntilReopen(t *testing.T) {
 	dir := t.TempDir()
 	fs := newFaultFS()
 	// Serial path so the wedge is reached deterministically in one call.
-	l, err := OpenLog(dir, Options{NoGroupCommit: true, fs: fs})
+	l, err := OpenLog(dir, Options{NoGroupCommit: true, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestWedgedLogFailsLoudlyUntilReopen(t *testing.T) {
 func TestFailedSyncRollbackFailureWedgesLog(t *testing.T) {
 	dir := t.TempDir()
 	fs := newFaultFS()
-	l, err := OpenLog(dir, Options{NoGroupCommit: true, SegmentBytes: 64, fs: fs})
+	l, err := OpenLog(dir, Options{NoGroupCommit: true, SegmentBytes: 64, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func crashIteration(t *testing.T, seed int64) {
 	opts := Options{
 		SegmentBytes: int64(256 + rng.Intn(2048)),
 		GroupWindow:  time.Duration(rng.Intn(3)) * time.Millisecond,
-		fs:           fs,
+		FS:           fs,
 	}
 	m, err := Open(dir, opts)
 	if err != nil {

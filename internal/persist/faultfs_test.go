@@ -8,7 +8,7 @@ import (
 )
 
 // This file is the fault-injection layer behind persist's crash tests:
-// a walFS that wraps the real filesystem and injects the failures a
+// a WALFS that wraps the real filesystem and injects the failures a
 // disk and a dying process actually produce — short writes, fsync
 // errors, failed rollback truncates, and a kill-point after which every
 // operation fails (the in-process stand-in for SIGKILL). It also counts
@@ -23,7 +23,7 @@ var (
 	errTruncInject  = errors.New("faultfs: injected truncate failure")
 )
 
-// faultFS implements walFS over the real filesystem with an injectable
+// faultFS implements WALFS over the real filesystem with an injectable
 // fault plan. All fields are guarded by mu; the same faultFS is shared
 // by every file it opens, so a kill-point covers the whole log at once.
 type faultFS struct {
@@ -101,7 +101,7 @@ func (f *faultFS) isKilled() bool {
 	return f.killed
 }
 
-func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (walFile, error) {
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (WALFile, error) {
 	f.mu.Lock()
 	killed := f.killed
 	f.mu.Unlock()
@@ -115,7 +115,7 @@ func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (walFile, er
 	return &faultFile{fs: f, f: file}, nil
 }
 
-func (f *faultFS) Open(name string) (walFile, error) {
+func (f *faultFS) Open(name string) (WALFile, error) {
 	f.mu.Lock()
 	killed := f.killed
 	f.mu.Unlock()

@@ -17,7 +17,7 @@ import (
 func TestGroupCommitExactlyOnceFewerFsyncs(t *testing.T) {
 	dir := t.TempDir()
 	fs := newFaultFS()
-	l, err := OpenLog(dir, Options{GroupWindow: 2 * time.Millisecond, fs: fs})
+	l, err := OpenLog(dir, Options{GroupWindow: 2 * time.Millisecond, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,9 +8,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iqb/internal/dataset"
+	"iqb/internal/telemetry"
 )
 
 const (
@@ -80,6 +82,11 @@ type Manager struct {
 	growBytes int64
 	growthC   chan struct{}
 
+	// Lock-free snapshot-activity counters, exposed as telemetry
+	// collectors when Options.Metrics is set.
+	snapshots     atomic.Uint64
+	growthSignals atomic.Uint64
+
 	// snapMu serializes snapshots; mu guards only the status fields,
 	// so Status never waits behind a snapshot's file I/O.
 	snapMu      sync.Mutex
@@ -118,6 +125,7 @@ func Open(dir string, o Options) (*Manager, error) {
 	store := dataset.NewStoreWith(o.Store)
 	m := &Manager{dir: dir, log: log, store: store,
 		growBytes: o.SnapshotWALBytes, growthC: make(chan struct{}, 1)}
+	m.registerMetrics(o.Metrics)
 	if hasSnap {
 		if err := store.AddBatch(rs); err != nil {
 			return nil, errors.Join(fmt.Errorf("persist: loading snapshot into store: %w", err), log.Close())
@@ -182,10 +190,35 @@ func (m *Manager) noteGrowth(rs []dataset.Record) {
 }
 
 func (m *Manager) signalGrowth() {
+	m.growthSignals.Add(1)
 	select {
 	case m.growthC <- struct{}{}:
 	default:
 	}
+}
+
+// registerMetrics exposes the manager's snapshot activity on r (nil
+// means run uninstrumented). Collectors read atomics or the short
+// status mutex — never snapMu, so a scrape cannot wait behind an
+// in-flight snapshot's file I/O.
+func (m *Manager) registerMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("iqb_snapshots_total",
+		"Snapshots cut (wall-clock ticks and growth-trigger alike).", nil,
+		func() float64 { return float64(m.snapshots.Load()) })
+	r.CounterFunc("iqb_snapshot_growth_signals_total",
+		"WAL-growth snapshot trigger firings (coalesced signals counted individually).", nil,
+		func() float64 { return float64(m.growthSignals.Load()) })
+	r.GaugeFunc("iqb_wal_since_snapshot_bytes",
+		"On-disk WAL bytes a recovery would replay past the latest snapshot.", nil,
+		func() float64 {
+			m.mu.Lock()
+			off := m.snapOffset
+			m.mu.Unlock()
+			return float64(m.log.SizePast(off))
+		})
 }
 
 // GrowthC delivers a signal each time the WAL grows past
@@ -258,6 +291,7 @@ func (m *Manager) snapshotLocked() (SnapshotInfo, error) {
 	m.snapRecords = info.Records
 	m.snapAt = info.SavedAt
 	m.mu.Unlock()
+	m.snapshots.Add(1)
 	return info, nil
 }
 

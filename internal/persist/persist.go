@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"iqb/internal/dataset"
+	"iqb/internal/telemetry"
 )
 
 // DefaultSegmentBytes is the WAL rotation threshold: large enough that
@@ -90,17 +91,27 @@ type Options struct {
 	// recovery.
 	Store dataset.Options
 
-	// fs substitutes the WAL's file operations; nil means the real
-	// filesystem. Unexported: only persist's crash tests inject
-	// faults (short writes, fsync errors, kill-points) here.
-	fs walFS
+	// Metrics, when non-nil, registers the WAL's and snapshot
+	// manager's self-observability series (append/fsync/rollback
+	// counters, fsync-latency and group-fold-size histograms, replay
+	// debt gauges) on the given registry. All registered collectors
+	// read lock-free counters or short in-memory mutexes, so a scrape
+	// never waits behind the committer's fsync.
+	Metrics *telemetry.Registry
+
+	// FS substitutes the WAL's file operations; nil means the real
+	// filesystem. This is the fault-injection seam: persist's crash
+	// tests (and httpapi's blocked-fsync scrape test) inject short
+	// writes, fsync errors, and kill-points here. Production code
+	// never sets it.
+	FS WALFS
 }
 
-func (o Options) fileSystem() walFS {
-	if o.fs == nil {
+func (o Options) fileSystem() WALFS {
+	if o.FS == nil {
 		return osFS{}
 	}
-	return o.fs
+	return o.FS
 }
 
 func (o Options) segmentBytes() int64 {

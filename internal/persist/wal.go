@@ -14,9 +14,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iqb/internal/dataset"
+	"iqb/internal/telemetry"
 )
 
 // WAL on-disk format. Each segment file starts with an 8-byte magic and
@@ -48,11 +50,11 @@ var errTorn = errors.New("persist: torn frame")
 // errLogClosed is returned by appends against a closed log.
 var errLogClosed = errors.New("persist: log is closed")
 
-// walFile is the file-operation surface the WAL uses. *os.File
+// WALFile is the file-operation surface the WAL uses. *os.File
 // implements it; persist's crash tests substitute a fault-injecting
 // implementation (short writes, fsync errors, kill-points mid-frame) to
 // make the durability contract executable.
-type walFile interface {
+type WALFile interface {
 	io.Reader
 	io.Writer
 	io.Closer
@@ -61,12 +63,12 @@ type walFile interface {
 	Sync() error
 }
 
-// walFS is the filesystem behind the WAL's segment files. Production
+// WALFS is the filesystem behind the WAL's segment files. Production
 // code always uses the real filesystem (osFS); tests inject faults via
 // Options.fs.
-type walFS interface {
-	OpenFile(name string, flag int, perm os.FileMode) (walFile, error)
-	Open(name string) (walFile, error)
+type WALFS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (WALFile, error)
+	Open(name string) (WALFile, error)
 	Remove(name string) error
 	SyncDir(dir string) error
 }
@@ -74,7 +76,7 @@ type walFS interface {
 // osFS is the real filesystem.
 type osFS struct{}
 
-func (osFS) OpenFile(name string, flag int, perm os.FileMode) (walFile, error) {
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (WALFile, error) {
 	f, err := os.OpenFile(name, flag, perm)
 	if err != nil {
 		return nil, err
@@ -82,7 +84,7 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (walFile, error) {
 	return f, nil
 }
 
-func (osFS) Open(name string) (walFile, error) {
+func (osFS) Open(name string) (WALFile, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
@@ -125,6 +127,13 @@ type WALStats struct {
 	// MaxGroupFrames is the largest number of frames a single group
 	// commit has covered.
 	MaxGroupFrames int `json:"max_group_frames"`
+	// Rollbacks counts failed appends rolled back to the pre-append
+	// boundary (write or sync errors, serial and group paths alike).
+	Rollbacks uint64 `json:"rollbacks"`
+	// Wedges counts rollbacks whose truncate also failed, wedging the
+	// log until a reopen (at most one per process, since a wedged log
+	// refuses further appends).
+	Wedges uint64 `json:"wedges"`
 }
 
 // Log is a segmented append-only write-ahead log of dataset record
@@ -139,11 +148,16 @@ type WALStats struct {
 // the group receives the error. Options.NoGroupCommit restores the
 // serial fsync-per-Append path; Options.NoSync bypasses the queue
 // entirely, as unsynced appends have no fsync to share.
+//
+// Metadata readers (Offset, Stats, SizeBytes, SizePast, Segments) never
+// take l.mu: counters are atomics and segment geometry sits behind the
+// short segMu, so health checks and metric scrapes return immediately
+// even while the committer holds l.mu across an fsync.
 type Log struct {
 	dir    string
 	segMax int64
 	noSync bool
-	fs     walFS
+	fs     WALFS
 
 	// Group-commit queue. Appenders push under qmu and block on their
 	// request's done channel; the committer drains pending in batches.
@@ -155,22 +169,43 @@ type Log struct {
 	qclosed       bool
 	committerDone chan struct{}
 
-	mu          sync.Mutex
-	active      walFile
-	activeName  string
+	// Lock-free write-path counters. Writers bump these while holding
+	// l.mu (so they stay mutually consistent with the file), but
+	// readers only Load — a scrape never queues behind an fsync.
+	offset         atomic.Uint64 // records appended across the log's lifetime
+	appendedFrames atomic.Uint64
+	fsyncs         atomic.Uint64
+	groupCommits   atomic.Uint64
+	maxGroupFrames atomic.Int64 // written only by the single committer goroutine
+	rollbacks      atomic.Uint64
+	wedges         atomic.Uint64
+
+	// segMu guards the segment geometry below. Mutators hold BOTH
+	// l.mu (serializing against other mutators and the file itself)
+	// and segMu for the metadata write; readers take just one of the
+	// two, so SizeBytes/SizePast/Segments stay responsive while l.mu
+	// is held across a write+fsync.
+	segMu       sync.Mutex
 	activeStart uint64 // record offset at which the active segment starts
 	activeSize  int64  // bytes written to the active segment
 	old         []walSegment
-	offset      uint64 // records appended across the log's lifetime
-	stats       WALStats
-	torn        bool // whether open found and truncated a torn tail
-	closed      bool
+
+	mu         sync.Mutex
+	active     WALFile
+	activeName string
+	torn       bool // whether open found and truncated a torn tail
+	closed     bool
 	// wedged is set when a failed write could not be rolled back: a
 	// possibly-partial frame is stuck mid-file, and appending past it
 	// would put durable frames behind a tear that the next recovery
 	// truncates away. A wedged log fails all appends and compactions
 	// until a reopen re-establishes a clean tail.
 	wedged bool
+
+	// Owned telemetry (nil-safe no-ops when no registry is attached):
+	// distributions the counters above cannot carry.
+	fsyncSeconds *telemetry.Histogram // latency of each durability fsync
+	groupFrames  *telemetry.Histogram // frames folded into each group commit
 }
 
 // errWedged fails operations on a log whose last failed write could not
@@ -207,6 +242,7 @@ func OpenLog(dir string, o Options) (*Log, error) {
 	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
 
 	l := &Log{dir: dir, segMax: o.segmentBytes(), noSync: o.NoSync, fs: o.fileSystem()}
+	l.registerMetrics(o.Metrics)
 	if len(segs) == 0 {
 		if err := l.createSegmentLocked(0); err != nil {
 			return nil, err
@@ -253,10 +289,51 @@ func OpenLog(dir string, o Options) (*Log, error) {
 		l.activeName = seg.name
 		l.activeStart = seg.start
 		l.activeSize = goodEnd
-		l.offset = seg.start + records
+		l.offset.Store(seg.start + records)
 	}
 	l.startCommitter(o)
 	return l, nil
+}
+
+// registerMetrics exposes the log's write-path counters and latency
+// distributions on r (nil means run uninstrumented). The collectors
+// only Load atomics or take segMu, honoring the registry's non-blocking
+// scrape contract: none of them can queue behind l.mu.
+func (l *Log) registerMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	l.fsyncSeconds = r.Histogram("iqb_wal_fsync_seconds",
+		"Latency of WAL durability fsyncs (serial and group commit).", nil)
+	l.groupFrames = r.Histogram("iqb_wal_group_frames",
+		"Frames folded into each group commit.", nil)
+	r.CounterFunc("iqb_wal_appended_frames_total",
+		"Frames durably appended to the WAL (one per batch).", nil,
+		func() float64 { return float64(l.appendedFrames.Load()) })
+	r.CounterFunc("iqb_wal_fsyncs_total",
+		"Fsyncs performed to make WAL frames durable.", nil,
+		func() float64 { return float64(l.fsyncs.Load()) })
+	r.CounterFunc("iqb_wal_group_commits_total",
+		"Group-commit rounds (one shared write+fsync each).", nil,
+		func() float64 { return float64(l.groupCommits.Load()) })
+	r.CounterFunc("iqb_wal_rollbacks_total",
+		"Failed appends rolled back to the pre-append boundary.", nil,
+		func() float64 { return float64(l.rollbacks.Load()) })
+	r.CounterFunc("iqb_wal_wedges_total",
+		"Rollbacks whose truncate failed, wedging the log until reopen.", nil,
+		func() float64 { return float64(l.wedges.Load()) })
+	r.CounterFunc("iqb_wal_records_total",
+		"Records appended over the log's lifetime (the WAL offset).", nil,
+		func() float64 { return float64(l.offset.Load()) })
+	r.GaugeFunc("iqb_wal_max_group_frames",
+		"Largest number of frames one group commit has covered.", nil,
+		func() float64 { return float64(l.maxGroupFrames.Load()) })
+	r.GaugeFunc("iqb_wal_size_bytes",
+		"On-disk bytes across all WAL segments.", nil,
+		func() float64 { return float64(l.SizeBytes()) })
+	r.GaugeFunc("iqb_wal_segments",
+		"WAL segment files currently on disk.", nil,
+		func() float64 { return float64(l.Segments()) })
 }
 
 // startCommitter launches the group-commit goroutine when the options
@@ -274,7 +351,7 @@ func (l *Log) startCommitter(o Options) {
 
 // truncateSegment cuts a segment back to its last clean frame boundary,
 // rewriting the magic if the tear landed inside it, and fsyncs.
-func truncateSegment(fs walFS, path string, goodEnd int64) (err error) {
+func truncateSegment(fs WALFS, path string, goodEnd int64) (err error) {
 	f, ferr := fs.OpenFile(path, os.O_RDWR, 0o644)
 	if ferr != nil {
 		return fmt.Errorf("persist: opening torn segment: %w", ferr)
@@ -304,7 +381,7 @@ func truncateSegment(fs walFS, path string, goodEnd int64) (err error) {
 // scanSegment validates one segment's frames without decoding payloads.
 // It returns the record count, the byte offset just past the last clean
 // frame, and whether the segment ends in a torn frame.
-func scanSegment(fs walFS, path string) (records uint64, goodEnd int64, torn bool, err error) {
+func scanSegment(fs WALFS, path string) (records uint64, goodEnd int64, torn bool, err error) {
 	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, false, err
@@ -398,13 +475,17 @@ func (l *Log) createSegmentLocked(start uint64) error {
 			abandon()
 			return fmt.Errorf("persist: closing sealed segment: %w", err)
 		}
+	}
+	l.segMu.Lock()
+	if l.active != nil {
 		l.old = append(l.old, walSegment{name: l.activeName, start: l.activeStart, size: l.activeSize})
 	}
-	l.active = f
-	l.activeName = name
 	l.activeStart = start
 	l.activeSize = int64(len(segMagic))
-	l.offset = start
+	l.segMu.Unlock()
+	l.active = f
+	l.activeName = name
+	l.offset.Store(start)
 	return nil
 }
 
@@ -480,21 +561,26 @@ func (l *Log) appendSerial(frame []byte, count uint32) error {
 		return fmt.Errorf("persist: appending frame: %w", err)
 	}
 	if !l.noSync {
-		//iqbvet:ignore lockio l.mu exists to serialize the segment file itself; group commit moves waiting writers onto channels instead
-		if err := l.active.Sync(); err != nil {
+		stop := l.fsyncSeconds.Time()
+		//iqbvet:ignore lockio l.mu serializes the segment file itself, never its metadata: health and metric readers use atomics and segMu, and group commit moves waiting writers onto channels
+		err := l.active.Sync()
+		stop()
+		if err != nil {
 			l.rollbackLocked()
 			return fmt.Errorf("persist: syncing frame: %w", err)
 		}
-		l.stats.Fsyncs++
+		l.fsyncs.Add(1)
 	}
-	l.stats.AppendedFrames++
+	l.appendedFrames.Add(1)
+	l.segMu.Lock()
 	l.activeSize += int64(len(frame))
-	l.offset += uint64(count)
+	l.segMu.Unlock()
+	l.offset.Add(uint64(count))
 	if l.activeSize >= l.segMax {
 		// The frame is already durable, so a failed rotation must not
 		// turn the ack into an error: keep the oversized segment
 		// active and let the next append retry the rotation.
-		_ = l.createSegmentLocked(l.offset)
+		_ = l.createSegmentLocked(l.offset.Load())
 	}
 	return nil
 }
@@ -512,8 +598,10 @@ func (l *Log) appendSerial(frame []byte, count uint32) error {
 // until a reopen rescans the bytes that actually survived, losing only
 // unacknowledged data.
 func (l *Log) rollbackLocked() {
+	l.rollbacks.Add(1)
 	if terr := l.active.Truncate(l.activeSize); terr != nil {
 		l.wedged = true
+		l.wedges.Add(1)
 	}
 }
 
@@ -580,27 +668,35 @@ func (l *Log) commitGroup(group []*walReq) {
 			l.rollbackLocked()
 			return fmt.Errorf("persist: appending group of %d frames: %w", len(group), werr)
 		}
-		//iqbvet:ignore lockio the committer's shared fsync is the point of group commit; writers wait on ack channels, not l.mu
-		if serr := l.active.Sync(); serr != nil {
+		stop := l.fsyncSeconds.Time()
+		//iqbvet:ignore lockio the committer's shared fsync is the point of group commit; writers wait on ack channels, and metadata readers use atomics and segMu — nothing queues behind this l.mu hold
+		serr := l.active.Sync()
+		stop()
+		if serr != nil {
 			l.rollbackLocked()
 			return fmt.Errorf("persist: syncing group of %d frames: %w", len(group), serr)
 		}
 		return nil
 	}()
 	if err == nil {
+		l.segMu.Lock()
 		l.activeSize += int64(total)
-		l.offset += records
-		l.stats.AppendedFrames += uint64(len(group))
-		l.stats.Fsyncs++
-		l.stats.GroupCommits++
-		if len(group) > l.stats.MaxGroupFrames {
-			l.stats.MaxGroupFrames = len(group)
+		l.segMu.Unlock()
+		l.offset.Add(records)
+		l.appendedFrames.Add(uint64(len(group)))
+		l.fsyncs.Add(1)
+		l.groupCommits.Add(1)
+		if int64(len(group)) > l.maxGroupFrames.Load() {
+			// Only this goroutine writes maxGroupFrames, so the
+			// load/store pair cannot lose an update.
+			l.maxGroupFrames.Store(int64(len(group)))
 		}
+		l.groupFrames.Observe(float64(len(group)))
 		if l.activeSize >= l.segMax {
 			// Frames are already durable; a failed rotation must not
 			// turn the acks into errors (same contract as the serial
 			// path).
-			_ = l.createSegmentLocked(l.offset)
+			_ = l.createSegmentLocked(l.offset.Load())
 		}
 	}
 	l.mu.Unlock()
@@ -618,7 +714,7 @@ func (l *Log) Replay(from uint64, fn func(rs []dataset.Record) error) error {
 	defer l.mu.Unlock()
 	segs := append(append([]walSegment(nil), l.old...), walSegment{name: l.activeName, start: l.activeStart})
 	for i, seg := range segs {
-		end := l.offset
+		end := l.offset.Load()
 		if i+1 < len(segs) {
 			end = segs[i+1].start
 		}
@@ -692,7 +788,7 @@ func (l *Log) Compact(through uint64) error {
 		return errWedged
 	}
 	if l.activeStart < through && l.activeSize > int64(len(segMagic)) {
-		if err := l.createSegmentLocked(l.offset); err != nil {
+		if err := l.createSegmentLocked(l.offset.Load()); err != nil {
 			return err
 		}
 	}
@@ -720,7 +816,9 @@ func (l *Log) Compact(through uint64) error {
 		}
 		removed = true
 	}
+	l.segMu.Lock()
 	l.old = kept
+	l.segMu.Unlock()
 	if firstErr != nil {
 		return firstErr
 	}
@@ -732,36 +830,42 @@ func (l *Log) Compact(through uint64) error {
 
 // Offset reports how many records have been appended over the log's
 // lifetime (surviving compaction, which only drops covered segments).
-func (l *Log) Offset() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.offset
-}
+// Lock-free: never waits on the committer's l.mu.
+func (l *Log) Offset() uint64 { return l.offset.Load() }
 
 // TornTail reports whether opening the log found (and truncated) a torn
 // final frame — evidence of a crash mid-append.
 func (l *Log) TornTail() bool { return l.torn }
 
 // Segments reports how many segment files the log currently holds.
+// Takes only segMu, never l.mu.
 func (l *Log) Segments() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	return len(l.old) + 1
 }
 
-// Stats reports the write path's work counters.
+// Stats reports the write path's work counters. Lock-free: each field
+// is an atomic load, so Stats returns immediately even mid-fsync. The
+// fields are read individually, not as one snapshot, which is fine for
+// monotone counters read for monitoring.
 func (l *Log) Stats() WALStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	return WALStats{
+		AppendedFrames: l.appendedFrames.Load(),
+		Fsyncs:         l.fsyncs.Load(),
+		GroupCommits:   l.groupCommits.Load(),
+		MaxGroupFrames: int(l.maxGroupFrames.Load()),
+		Rollbacks:      l.rollbacks.Load(),
+		Wedges:         l.wedges.Load(),
+	}
 }
 
 // SizeBytes reports the log's current on-disk size from tracked
-// segment sizes — no filesystem syscalls, so health checks never stall
-// appenders on stat calls.
+// segment sizes — no filesystem syscalls and no l.mu, so health checks
+// and metric scrapes never stall behind appenders or their fsyncs.
 func (l *Log) SizeBytes() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	total := l.activeSize
 	for _, seg := range l.old {
 		total += seg.size
@@ -773,10 +877,11 @@ func (l *Log) SizeBytes() int64 {
 // the given offset — the bytes a recovery from that offset would read.
 // Granularity is whole segments (a boundary segment counts fully,
 // matching what replay actually reads), so the snapshot growth trigger
-// measures exactly the replay work it exists to bound.
+// measures exactly the replay work it exists to bound. Takes only
+// segMu, never l.mu.
 func (l *Log) SizePast(offset uint64) int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	var total int64
 	for i, seg := range l.old {
 		end := l.activeStart
@@ -787,7 +892,7 @@ func (l *Log) SizePast(offset uint64) int64 {
 			total += seg.size
 		}
 	}
-	if l.offset > offset {
+	if l.offset.Load() > offset {
 		total += l.activeSize
 	}
 	return total
@@ -809,16 +914,20 @@ func (l *Log) Close() error {
 		<-l.committerDone
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	f := l.active
+	l.mu.Unlock()
+	// The final sync runs outside every lock: each other file user
+	// holds l.mu for its whole operation and checks closed first, so
+	// once closed is set under the mutex nothing else can touch f.
 	if !l.noSync {
-		//iqbvet:ignore lockio final fsync at Close; the log is already marked closed, nothing else can contend for l.mu usefully
-		if err := l.active.Sync(); err != nil {
-			return errors.Join(fmt.Errorf("persist: syncing on close: %w", err), l.active.Close())
+		if err := f.Sync(); err != nil {
+			return errors.Join(fmt.Errorf("persist: syncing on close: %w", err), f.Close())
 		}
 	}
-	return l.active.Close()
+	return f.Close()
 }

@@ -1,0 +1,115 @@
+package persist
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iqb/internal/dataset"
+)
+
+// gatedFS parks file Syncs on a channel so a test can hold the
+// committer inside its fsync (under l.mu) and probe what still answers.
+type gatedFS struct {
+	blocking atomic.Bool
+	parked   chan struct{}
+	gate     chan struct{}
+}
+
+func newGatedFS() *gatedFS {
+	return &gatedFS{parked: make(chan struct{}, 8), gate: make(chan struct{})}
+}
+
+func (g *gatedFS) OpenFile(name string, flag int, perm os.FileMode) (WALFile, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedFile{File: f, fs: g}, nil
+}
+
+func (g *gatedFS) Open(name string) (WALFile, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedFile{File: f, fs: g}, nil
+}
+
+func (g *gatedFS) Remove(name string) error { return os.Remove(name) }
+func (g *gatedFS) SyncDir(dir string) error { return nil }
+
+type gatedFile struct {
+	*os.File
+	fs *gatedFS
+}
+
+func (f *gatedFile) Sync() error {
+	if f.fs.blocking.Load() {
+		f.fs.parked <- struct{}{}
+		<-f.fs.gate
+	}
+	return f.File.Sync()
+}
+
+// TestMetadataReadersNeverTakeCommitterMutex pins the lock-free
+// metadata contract directly on the Log: with an append parked inside
+// its fsync — the committer holding l.mu — Offset, Stats, SizeBytes,
+// SizePast, and Segments must all return immediately.
+func TestMetadataReadersNeverTakeCommitterMutex(t *testing.T) {
+	fs := newGatedFS()
+	l, err := OpenLog(t.TempDir(), Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]dataset.Record{walRecord("meta-probe", 50)}); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.blocking.Store(true)
+	appendDone := make(chan error, 1)
+	go func() {
+		appendDone <- l.Append([]dataset.Record{walRecord("meta-probe-2", 50)})
+	}()
+	select {
+	case <-fs.parked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("append never reached the gated fsync")
+	}
+
+	readersDone := make(chan struct{})
+	go func() {
+		defer close(readersDone)
+		if got := l.Offset(); got != 1 {
+			t.Errorf("Offset during fsync = %d, want 1 (second append unacked)", got)
+		}
+		st := l.Stats()
+		if st.AppendedFrames != 1 || st.Fsyncs != 1 {
+			t.Errorf("Stats during fsync = %+v, want 1 appended frame / 1 fsync", st)
+		}
+		if l.SizeBytes() <= int64(len(segMagic)) {
+			t.Error("SizeBytes during fsync reported an empty log")
+		}
+		if got := l.Segments(); got != 1 {
+			t.Errorf("Segments during fsync = %d, want 1", got)
+		}
+		if l.SizePast(0) <= 0 {
+			t.Error("SizePast during fsync reported nothing to replay")
+		}
+	}()
+	select {
+	case <-readersDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("metadata readers blocked behind the committer's fsync")
+	}
+
+	fs.blocking.Store(false)
+	close(fs.gate)
+	if err := <-appendDone; err != nil {
+		t.Fatalf("gated append failed: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,6 +41,7 @@ import (
 
 	"iqb/internal/dataset"
 	"iqb/internal/iqb"
+	"iqb/internal/telemetry"
 )
 
 // errScorePanic is what flight followers observe when the computation
@@ -459,6 +460,43 @@ func (c *Cache) Stats() Stats {
 	s := c.stats
 	s.Entries = len(c.entries)
 	return s
+}
+
+// RegisterMetrics exposes the cache's effectiveness counters on r (nil
+// is a no-op). The collectors sample the authoritative counters via
+// Stats — one short c.mu hold per sample, never the scoring
+// singleflight — instead of double-counting on the hot path.
+func (c *Cache) RegisterMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	sample := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(c.Stats()) }
+	}
+	r.CounterFunc("iqb_scorecache_hits_total",
+		"Score calls served from the cache.", nil,
+		sample(func(s Stats) float64 { return float64(s.Hits) }))
+	r.CounterFunc("iqb_scorecache_misses_total",
+		"Score calls computed into the cache.", nil,
+		sample(func(s Stats) float64 { return float64(s.Misses) }))
+	r.CounterFunc("iqb_scorecache_uncacheable_total",
+		"Computations not retained because ingestion was in flight.", nil,
+		sample(func(s Stats) float64 { return float64(s.Uncacheable) }))
+	r.CounterFunc("iqb_scorecache_shared_flights_total",
+		"Calls that joined a concurrent computation instead of starting their own.", nil,
+		sample(func(s Stats) float64 { return float64(s.SharedFlights) }))
+	r.CounterFunc("iqb_scorecache_invalidations_total",
+		"Committed batches observed by the invalidation hook.", nil,
+		sample(func(s Stats) float64 { return float64(s.Invalidations) }))
+	r.CounterFunc("iqb_scorecache_evictions_total",
+		"Cached scores dropped by invalidation or capacity.", nil,
+		sample(func(s Stats) float64 { return float64(s.Evictions) }))
+	r.CounterFunc("iqb_scorecache_ranking_repairs_total",
+		"County rows rescored and re-sorted in the incremental ranking view.", nil,
+		sample(func(s Stats) float64 { return float64(s.RankingRepairs) }))
+	r.GaugeFunc("iqb_scorecache_entries",
+		"Scores currently retained.", nil,
+		sample(func(s Stats) float64 { return float64(s.Entries) }))
 }
 
 func (c *Cache) regionVer(code string) uint64 {

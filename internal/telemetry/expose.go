@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each
+// preceded by its # HELP and # TYPE lines, series within a family
+// sorted by label block. Collector callbacks are sampled during the
+// call; they must not block (see the package doc).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	qs := r.quantiles
+
+	var b bytes.Buffer
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind.typeName())
+		ordered := append([]*series(nil), f.series...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].labels < ordered[j].labels })
+		for _, s := range ordered {
+			writeSeries(&b, s, qs)
+		}
+	}
+	r.mu.Unlock()
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writeSeries renders one series' sample lines into b.
+func writeSeries(b *bytes.Buffer, s *series, qs []float64) {
+	switch s.kind {
+	case kindCounter:
+		fmt.Fprintf(b, "%s%s %s\n", s.name, s.labels, strconv.FormatUint(s.counter.Value(), 10))
+	case kindGauge:
+		fmt.Fprintf(b, "%s%s %s\n", s.name, s.labels, strconv.FormatInt(s.gauge.Value(), 10))
+	case kindCounterFunc, kindGaugeFunc:
+		fmt.Fprintf(b, "%s%s %s\n", s.name, s.labels, formatFloat(s.fn()))
+	case kindHistogram:
+		quants, sum, count := s.hist.snapshot(qs)
+		for i, q := range qs {
+			fmt.Fprintf(b, "%s%s %s\n", s.name, withQuantile(s.labels, q), formatFloat(quants[i]))
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", s.name, s.labels, formatFloat(sum))
+		fmt.Fprintf(b, "%s_count%s %s\n", s.name, s.labels, strconv.FormatUint(count, 10))
+	}
+}
+
+// withQuantile merges the reserved quantile label into a rendered
+// label block.
+func withQuantile(labels string, q float64) string {
+	ql := `quantile="` + formatFloat(q) + `"`
+	if labels == "" {
+		return "{" + ql + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + ql + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// Handler serves the registry as GET /metrics in text exposition
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// Buffer-first so an encoding problem cannot truncate a 200.
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, "rendering metrics failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// parseExposition validates every line of a scrape and returns the
+// sample values keyed by "name{labels}". The grammar accepted is the
+// subset the registry emits: HELP/TYPE comments and
+// name{labels} value samples.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|NaN)$`)
+	metaRe := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	out := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !metaRe.MatchString(line) {
+				t.Fatalf("malformed meta line %q", line)
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("unparsable value in %q: %v", line, err)
+		}
+		out[m[1]+m[2]] = v
+	}
+	return out
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("iqb_test_total", "a test counter", Labels{"path": "/v1/x"})
+	g := r.Gauge("iqb_test_in_flight", "a test gauge", nil)
+	r.CounterFunc("iqb_test_fn_total", "a collector", nil, func() float64 { return 7 })
+	c.Add(3)
+	c.Inc()
+	g.Set(5)
+	g.Dec()
+
+	samples := parseExposition(t, scrape(t, r))
+	if got := samples[`iqb_test_total{path="/v1/x"}`]; got != 4 {
+		t.Errorf("counter = %v, want 4", got)
+	}
+	if got := samples["iqb_test_in_flight"]; got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+	if got := samples["iqb_test_fn_total"]; got != 7 {
+		t.Errorf("collector = %v, want 7", got)
+	}
+}
+
+func TestHistogramSummaryExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iqb_test_seconds", "a latency summary", Labels{"path": "/v1/x"})
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000) // 1ms .. 1s, uniform
+	}
+	body := scrape(t, r)
+	samples := parseExposition(t, body)
+
+	p50 := samples[`iqb_test_seconds{path="/v1/x",quantile="0.5"}`]
+	p90 := samples[`iqb_test_seconds{path="/v1/x",quantile="0.9"}`]
+	p99 := samples[`iqb_test_seconds{path="/v1/x",quantile="0.99"}`]
+	if !(p50 > 0 && p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// DDSketch guarantees relative error alpha; allow 5% slack.
+	for _, tc := range []struct{ got, want float64 }{{p50, 0.5}, {p90, 0.9}, {p99, 0.99}} {
+		if math.Abs(tc.got-tc.want)/tc.want > 0.05 {
+			t.Errorf("quantile %v estimated %v", tc.want, tc.got)
+		}
+	}
+	if got := samples[`iqb_test_seconds_count{path="/v1/x"}`]; got != 1000 {
+		t.Errorf("count = %v, want 1000", got)
+	}
+	wantSum := 1000 * 1001 / 2.0 / 1000
+	if got := samples[`iqb_test_seconds_sum{path="/v1/x"}`]; math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+	if !strings.Contains(body, "# TYPE iqb_test_seconds summary") {
+		t.Error("histogram not typed as summary")
+	}
+}
+
+func TestHistogramIgnoresBadValues(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iqb_test_seconds", "h", nil)
+	h.Observe(math.NaN())
+	h.Observe(-1)
+	h.Observe(2)
+	samples := parseExposition(t, scrape(t, r))
+	if got := samples["iqb_test_seconds_count"]; got != 1 {
+		t.Errorf("count = %v, want 1 (NaN and negative ignored)", got)
+	}
+	if got := samples["iqb_test_seconds_sum"]; got != 2 {
+		t.Errorf("sum = %v, want 2", got)
+	}
+}
+
+func TestEmptyHistogramExposesZero(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("iqb_test_seconds", "h", nil)
+	samples := parseExposition(t, scrape(t, r))
+	if got := samples[`iqb_test_seconds{quantile="0.5"}`]; got != 0 {
+		t.Errorf("empty-sketch quantile = %v, want 0", got)
+	}
+}
+
+func TestRegistrationIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("iqb_test_total", "c", Labels{"k": "v"})
+	b := r.Counter("iqb_test_total", "c", Labels{"k": "v"})
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	// Same family, different labels: two series, one TYPE line.
+	r.Counter("iqb_test_total", "c", Labels{"k": "w"})
+	body := scrape(t, r)
+	if got := strings.Count(body, "# TYPE iqb_test_total counter"); got != 1 {
+		t.Errorf("TYPE lines = %d, want 1\n%s", got, body)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind collision did not panic")
+		}
+	}()
+	r.Gauge("iqb_test_total", "g", Labels{"k": "v"})
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iqb_test_total", "c", Labels{"q": "a\"b\\c\nd"})
+	body := scrape(t, r)
+	want := `iqb_test_total{q="a\"b\\c\nd"} 0`
+	if !strings.Contains(body, want) {
+		t.Errorf("escaped series %q missing from:\n%s", want, body)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(2)
+	g.Inc()
+	g.Dec()
+	g.Set(9)
+	h.Observe(1)
+	h.Time()()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil metrics reported values")
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iqb_test_total", "c", nil).Inc()
+	srv := httptest.NewServer(r.Handler())
+	t.Cleanup(srv.Close)
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+// TestConcurrentObserveAndScrape is the registry's race test: writers
+// hammer every metric kind while scrapes render, under -race.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("iqb_test_total", "c", nil)
+	g := r.Gauge("iqb_test_gauge", "g", nil)
+	h := r.Histogram("iqb_test_seconds", "h", nil)
+	r.GaugeFunc("iqb_test_fn", "f", nil, func() float64 { return float64(c.Value()) })
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i))
+			}
+		}()
+	}
+	scrapeErrs := make(chan error, 2)
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					scrapeErrs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(scrapeErrs)
+	for err := range scrapeErrs {
+		t.Error(err)
+	}
+	if c.Value() != 2000 {
+		t.Errorf("counter = %d, want 2000", c.Value())
+	}
+}
