@@ -6,12 +6,26 @@
 //	iqbserver [-addr 127.0.0.1:8600] [-seed 42] [-tests 120]
 //	          [-data-dir DIR] [-snapshot-interval 5m] [-snapshot-wal-bytes N]
 //	          [-wal-segment-bytes N] [-wal-group-window D]
+//	          [-ingest-queue-records N] [-ingest-queue-bytes N]
+//	          [-ingest-drain-records N] [-ingest-body-cap N]
 //	          [-score-cache=true] [-cache-stats 0] [-metrics=true]
 //
 // Endpoints: /v1/health /v1/config /v1/regions /v1/score?region=R
 // (optional from/to RFC 3339 window bounds) /v1/ranking /v1/datasets,
-// plus POST /v1/snapshot with -data-dir, plus GET /metrics unless
-// -metrics=false.
+// plus POST /v1/ingest (streaming NDJSON), plus POST /v1/snapshot with
+// -data-dir, plus GET /metrics unless -metrics=false.
+//
+// POST /v1/ingest accepts measurement records as NDJSON and commits
+// them through an admission-controlled queue: a single drainer
+// goroutine folds queued batches into store commits of at most
+// -ingest-drain-records records, writers block until their records are
+// durable (when -data-dir is set, that means fsynced through the WAL),
+// and once -ingest-queue-records or -ingest-queue-bytes of admitted
+// work is in flight the server sheds further batches with 429 and
+// Retry-After instead of buffering without bound. The response reports
+// how many records were accepted and rejected; /v1/health exposes
+// queue depth and shed counts in its ingest block, and /metrics adds
+// drain-size and enqueue-to-commit latency distributions.
 //
 // With -metrics (the default), the server exposes its own telemetry at
 // GET /metrics in Prometheus text format: per-endpoint request counts,
@@ -74,6 +88,7 @@ import (
 	"iqb/internal/dataset"
 	"iqb/internal/geo"
 	"iqb/internal/httpapi"
+	"iqb/internal/ingest"
 	"iqb/internal/iqb"
 	"iqb/internal/persist"
 	"iqb/internal/pipeline"
@@ -300,6 +315,10 @@ func run(args []string) error {
 	snapWALBytes := fs.Int64("snapshot-wal-bytes", 0, "also snapshot once this many WAL bytes accumulate past the last snapshot (0 disables the growth trigger)")
 	segBytes := fs.Int64("wal-segment-bytes", persist.DefaultSegmentBytes, "WAL segment rotation threshold")
 	groupWindow := fs.Duration("wal-group-window", 0, "extra time a WAL group commit waits for more writers before its shared fsync (0 coalesces only natural pileups; negative disables group commit)")
+	queueRecords := fs.Int("ingest-queue-records", ingest.DefaultQueueRecords, "live-ingest admission cap in queued records; past it POST /v1/ingest sheds with 429")
+	queueBytes := fs.Int64("ingest-queue-bytes", ingest.DefaultQueueBytes, "live-ingest admission cap in queued wire bytes")
+	drainRecords := fs.Int("ingest-drain-records", ingest.DefaultDrainRecords, "most records the ingest drainer commits per store batch")
+	bodyCap := fs.Int64("ingest-body-cap", httpapi.DefaultIngestBodyCap, "largest POST /v1/ingest request body in bytes")
 	useCache := fs.Bool("score-cache", true, "serve /v1/score and /v1/ranking from the ingest-invalidated score cache")
 	cacheStats := fs.Duration("cache-stats", 0, "score-cache stats logging period (0 disables)")
 	metricsOn := fs.Bool("metrics", true, "serve self-telemetry at GET /metrics (Prometheus text format)")
@@ -366,6 +385,27 @@ func run(args []string) error {
 			go cacheStatsLoop(ctx, logger, cache, *cacheStats)
 		}
 	}
+	// The ingester is created after persistence and closed before it
+	// (defers run LIFO): draining admitted batches needs the WAL still
+	// open, so every acknowledged record is durable before the final
+	// WAL fsync.
+	ing, err := ingest.New(w.store, ingest.Options{
+		QueueRecords: *queueRecords,
+		QueueBytes:   *queueBytes,
+		DrainRecords: *drainRecords,
+		Metrics:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := ing.Close(); cerr != nil {
+			logger.Error("closing ingest pipeline", "err", cerr)
+		}
+	}()
+	api.SetIngest(ing, *bodyCap)
+	logger.Info("live ingest enabled", "endpoint", "POST /v1/ingest",
+		"queue_records", *queueRecords, "queue_bytes", *queueBytes)
 	if reg != nil {
 		api.SetMetrics(reg)
 		logger.Info("telemetry enabled", "endpoint", "GET /metrics")

@@ -1,111 +1,496 @@
-// Command iqbsim runs the full synthetic-world simulation and prints the
-// per-county IQB ranking plus a score card for the best and worst
-// counties — the one-command demonstration of the whole system.
+// Command iqbsim drives a live iqbserver as a closed-loop load
+// generator: N concurrent clients send a weighted mix of ingest, score,
+// and ranking traffic, each client issuing its next request only after
+// the previous one completes (closed loop), optionally paced to a
+// target aggregate request rate. The run ends after -duration (or on
+// interrupt) and reports per-operation latency percentiles, shed
+// counts, and accepted/rejected record totals as JSON.
 //
 // Usage:
 //
-//	iqbsim [-seed 42] [-days 7] [-tests 120] [-states 4] [-counties 3]
-//	       [-quality high|minimum] [-verbose]
+//	iqbsim [-addr http://127.0.0.1:8600] [-clients 8] [-rps 0]
+//	       [-duration 10s] [-mix ingest=70,score=20,ranking=10]
+//	       [-batch 50] [-seed 1] [-out report.json]
+//
+// Operations:
+//
+//   - ingest: POST -batch synthetic measurement records to /v1/ingest
+//     as NDJSON. A 429 (admission queue full) counts as a shed, not an
+//     error — sheds are the backpressure working as designed, and the
+//     report keeps them distinct so a capacity run can find the knee.
+//   - score: GET /v1/score for a random county.
+//   - ranking: GET /v1/ranking.
+//
+// The client fetches /v1/regions and /v1/datasets once at startup, so
+// generated records always land in regions the server can score.
+// Record IDs embed the seed, client index, and sequence number: two
+// runs with the same -seed generate identical record streams, and two
+// clients never collide on an ID. Latency percentiles come from the
+// repo's own DDSketch (relative-error bounded, mergeable across
+// clients).
+//
+// A zero -rps runs the closed loop unthrottled: each client issues
+// requests back-to-back, so aggregate throughput floats to whatever
+// the server sustains — that is the capacity-probe mode. With -rps R,
+// each of the N clients paces itself to R/N requests per second.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
 
-	"iqb/internal/iqb"
-	"iqb/internal/pipeline"
-	"iqb/internal/report"
+	"iqb/internal/dataset"
+	"iqb/internal/httpapi"
+	"iqb/internal/rng"
+	"iqb/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "iqbsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// opNames is the fixed operation vocabulary, in report order.
+var opNames = []string{"ingest", "score", "ranking"}
+
+// loadConfig is everything a load run needs, decoupled from flag
+// parsing so tests drive runLoad directly.
+type loadConfig struct {
+	baseURL  string
+	clients  int
+	rps      float64 // aggregate target; 0 = unthrottled closed loop
+	duration time.Duration
+	mix      map[string]int // op name -> weight
+	batch    int            // records per ingest request
+	seed     uint64
+}
+
+// parseMix parses "ingest=70,score=20,ranking=10" into weights. Ops
+// omitted from the string get weight 0; at least one weight must be
+// positive.
+func parseMix(s string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, name := range opNames {
+		mix[name] = 0
+	}
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		if _, known := mix[name]; !known {
+			return nil, fmt.Errorf("unknown mix operation %q (have ingest, score, ranking)", name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q must be a non-negative integer", val)
+		}
+		mix[name] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("mix has no positive weight")
+	}
+	return mix, nil
+}
+
+// opResult accumulates one operation's outcomes for one client. Sheds
+// (429) and errors both also count as requests; latency is recorded for
+// every request that produced an HTTP response, including sheds — the
+// server's rejection latency is part of its behavior under load.
+type opResult struct {
+	sketch    *stats.DDSketch // latency in seconds
+	requests  int64
+	errs      int64
+	sheds     int64
+	accepted  int64 // ingest only: records the server committed
+	rejected  int64 // ingest only: records the server shed
+	maxSecs   float64
+	totalSecs float64
+}
+
+func newOpResult() *opResult {
+	return &opResult{sketch: stats.NewDDSketch(0.01)}
+}
+
+func (o *opResult) observe(d time.Duration) {
+	s := d.Seconds()
+	o.sketch.Add(s)
+	o.totalSecs += s
+	if s > o.maxSecs {
+		o.maxSecs = s
+	}
+}
+
+func (o *opResult) merge(other *opResult) {
+	// Sketches with identical alpha always merge.
+	_ = o.sketch.Merge(other.sketch)
+	o.requests += other.requests
+	o.errs += other.errs
+	o.sheds += other.sheds
+	o.accepted += other.accepted
+	o.rejected += other.rejected
+	o.totalSecs += other.totalSecs
+	if other.maxSecs > o.maxSecs {
+		o.maxSecs = other.maxSecs
+	}
+}
+
+// OpReport is one operation's slice of the JSON report.
+type OpReport struct {
+	Requests        int64    `json:"requests"`
+	Errors          int64    `json:"errors"`
+	Sheds           int64    `json:"sheds,omitempty"`
+	AcceptedRecords int64    `json:"accepted_records,omitempty"`
+	RejectedRecords int64    `json:"rejected_records,omitempty"`
+	LatencyMS       *Latency `json:"latency_ms,omitempty"`
+}
+
+// Latency is a percentile summary in milliseconds.
+type Latency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// Report is the run's JSON output.
+type Report struct {
+	Addr        string              `json:"addr"`
+	Clients     int                 `json:"clients"`
+	TargetRPS   float64             `json:"target_rps,omitempty"`
+	Batch       int                 `json:"batch"`
+	Seed        uint64              `json:"seed"`
+	Mix         map[string]int      `json:"mix"`
+	ElapsedSecs float64             `json:"elapsed_s"`
+	Requests    int64               `json:"requests"`
+	AchievedRPS float64             `json:"achieved_rps"`
+	Ops         map[string]OpReport `json:"ops"`
+}
+
+// worker is one closed-loop client.
+type worker struct {
+	id       int
+	client   *httpapi.Client
+	src      *rng.Source
+	cfg      loadConfig
+	counties []string
+	datasets []string
+	results  map[string]*opResult
+	seq      int
+}
+
+// record builds one synthetic measurement. IDs are unique across
+// clients and deterministic per seed.
+func (w *worker) record(i int) dataset.Record {
+	r := dataset.NewRecord(
+		fmt.Sprintf("sim-%d-c%d-%d-%d", w.cfg.seed, w.id, w.seq, i),
+		w.datasets[w.src.Intn(len(w.datasets))],
+		w.counties[w.src.Intn(len(w.counties))],
+		time.Now().UTC(),
+	)
+	r.DownloadMbps = w.src.Range(10, 500)
+	r.UploadMbps = w.src.Range(2, 100)
+	r.LatencyMS = w.src.Range(4, 90)
+	r.LossFrac = w.src.Float64() * 0.02
+	return r
+}
+
+// step issues one request of the given op and records its outcome.
+func (w *worker) step(ctx context.Context, op string) {
+	res := w.results[op]
+	res.requests++
+	start := time.Now()
+	var err error
+	switch op {
+	case "ingest":
+		rs := make([]dataset.Record, w.cfg.batch)
+		for i := range rs {
+			rs[i] = w.record(i)
+		}
+		w.seq++
+		var resp httpapi.IngestResponse
+		resp, err = w.client.Ingest(ctx, rs)
+		res.accepted += int64(resp.Accepted)
+		res.rejected += int64(resp.Rejected)
+		var apiErr *httpapi.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == 429 {
+			res.sheds++
+			res.observe(time.Since(start))
+			return
+		}
+	case "score":
+		_, err = w.client.Score(ctx, w.counties[w.src.Intn(len(w.counties))])
+	case "ranking":
+		_, err = w.client.Ranking(ctx)
+	}
+	if err != nil {
+		// A canceled context at the end of the run is not a server
+		// failure; drop the half-done request from the tallies.
+		if ctx.Err() != nil {
+			res.requests--
+			return
+		}
+		res.errs++
+		return
+	}
+	res.observe(time.Since(start))
+}
+
+// loop runs the closed loop until ctx is done. With pacing, each
+// client targets its 1/N share of the aggregate rate; a slow response
+// eats into the pace deficit rather than triggering a burst later
+// (next is rebased on now when behind).
+func (w *worker) loop(ctx context.Context) {
+	ops, weights := mixWeights(w.cfg.mix)
+	var interval time.Duration
+	if w.cfg.rps > 0 {
+		interval = time.Duration(float64(w.cfg.clients) / w.cfg.rps * float64(time.Second))
+	}
+	next := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if interval > 0 {
+			now := time.Now()
+			if wait := next.Sub(now); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+				next = next.Add(interval)
+			} else {
+				next = now.Add(interval)
+			}
+		}
+		w.step(ctx, ops[w.src.Categorical(weights)])
+	}
+}
+
+// mixWeights flattens the mix map into parallel slices in stable op
+// order (map iteration order must not leak into the request stream).
+func mixWeights(mix map[string]int) ([]string, []float64) {
+	var ops []string
+	var weights []float64
+	for _, name := range opNames {
+		if mix[name] > 0 {
+			ops = append(ops, name)
+			weights = append(weights, float64(mix[name]))
+		}
+	}
+	return ops, weights
+}
+
+// discoverTargets fetches the server's counties and dataset names so
+// generated traffic matches the world being served.
+func discoverTargets(ctx context.Context, c *httpapi.Client) (counties, datasets []string, err error) {
+	regions, err := c.Regions(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fetching regions: %w", err)
+	}
+	for _, r := range regions {
+		if r.Level == "county" {
+			counties = append(counties, r.Code)
+		}
+	}
+	if len(counties) == 0 {
+		return nil, nil, errors.New("server reports no counties to target")
+	}
+	sort.Strings(counties)
+	counts, err := c.Datasets(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fetching datasets: %w", err)
+	}
+	for _, d := range counts {
+		datasets = append(datasets, d.Name)
+	}
+	if len(datasets) == 0 {
+		return nil, nil, errors.New("server reports no datasets")
+	}
+	sort.Strings(datasets)
+	return counties, datasets, nil
+}
+
+// runLoad executes the configured load run and assembles the report.
+func runLoad(ctx context.Context, cfg loadConfig) (Report, error) {
+	client := &httpapi.Client{BaseURL: cfg.baseURL}
+	counties, datasets, err := discoverTargets(ctx, client)
+	if err != nil {
+		return Report{}, err
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+	workers := make([]*worker, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		w := &worker{
+			id:       i,
+			client:   client,
+			src:      rng.New(cfg.seed).Fork(fmt.Sprintf("client-%d", i)),
+			cfg:      cfg,
+			counties: counties,
+			datasets: datasets,
+			results:  map[string]*opResult{},
+		}
+		for _, name := range opNames {
+			w.results[name] = newOpResult()
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop(runCtx)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := map[string]*opResult{}
+	for _, name := range opNames {
+		merged[name] = newOpResult()
+		for _, w := range workers {
+			merged[name].merge(w.results[name])
+		}
+	}
+	rep := Report{
+		Addr:        cfg.baseURL,
+		Clients:     cfg.clients,
+		TargetRPS:   cfg.rps,
+		Batch:       cfg.batch,
+		Seed:        cfg.seed,
+		Mix:         cfg.mix,
+		ElapsedSecs: elapsed.Seconds(),
+		Ops:         map[string]OpReport{},
+	}
+	for _, name := range opNames {
+		res := merged[name]
+		if res.requests == 0 {
+			continue
+		}
+		op := OpReport{
+			Requests:        res.requests,
+			Errors:          res.errs,
+			Sheds:           res.sheds,
+			AcceptedRecords: res.accepted,
+			RejectedRecords: res.rejected,
+		}
+		if res.sketch.Count() > 0 {
+			op.LatencyMS = &Latency{
+				P50:  quantileMS(res.sketch, 0.50),
+				P90:  quantileMS(res.sketch, 0.90),
+				P99:  quantileMS(res.sketch, 0.99),
+				Max:  res.maxSecs * 1e3,
+				Mean: res.totalSecs / res.sketch.Count() * 1e3,
+			}
+		}
+		rep.Ops[name] = op
+		rep.Requests += res.requests
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+func quantileMS(d *stats.DDSketch, q float64) float64 {
+	v, err := d.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return v * 1e3
+}
+
+// writeReport emits the report as indented JSON to stdout or -out.
+func writeReport(rep Report, out string, stdout io.Writer) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		_, err := stdout.Write(blob)
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	// The report is the run's only output; a lost close is a lost run.
+	return f.Close()
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("iqbsim", flag.ContinueOnError)
-	seed := fs.Uint64("seed", 42, "random seed")
-	days := fs.Int("days", 7, "measurement window in days")
-	tests := fs.Int("tests", 120, "tests per county per dataset")
-	states := fs.Int("states", 4, "synthetic states")
-	counties := fs.Int("counties", 3, "counties per state")
-	quality := fs.String("quality", "high", "quality bar: high or minimum")
-	verbose := fs.Bool("verbose", false, "print a score card for every county")
+	addr := fs.String("addr", "http://127.0.0.1:8600", "base URL of the iqbserver under load")
+	clients := fs.Int("clients", 8, "concurrent closed-loop clients")
+	rps := fs.Float64("rps", 0, "aggregate target request rate (0 = unthrottled)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to run")
+	mixFlag := fs.String("mix", "ingest=70,score=20,ranking=10", "operation weights, name=weight comma-separated")
+	batch := fs.Int("batch", 50, "records per ingest request")
+	seed := fs.Uint64("seed", 1, "random seed for the generated record stream")
+	out := fs.String("out", "", "write the JSON report here instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	spec := pipeline.DefaultSpec()
-	spec.Seed = *seed
-	spec.Days = *days
-	spec.TestsPerCounty = *tests
-	spec.Geo.States = *states
-	spec.Geo.CountiesPer = *counties
-
-	cfg := iqb.DefaultConfig()
-	switch *quality {
-	case "high":
-	case "minimum":
-		cfg.Quality = iqb.MinimumQuality
-	default:
-		return fmt.Errorf("unknown quality %q", *quality)
+	if *clients < 1 {
+		return errors.New("-clients must be at least 1")
 	}
-
-	res, err := pipeline.Run(context.Background(), spec)
+	if *batch < 1 {
+		return errors.New("-batch must be at least 1")
+	}
+	if *duration <= 0 {
+		return errors.New("-duration must be positive")
+	}
+	mix, err := parseMix(*mixFlag)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("simulated %d records in %v (", res.Store.Len(), res.Elapsed.Round(1e6))
-	for i, name := range res.Store.Datasets() {
-		if i > 0 {
-			fmt.Print(", ")
-		}
-		fmt.Printf("%s: %d", name, res.Counts[name])
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
 	}
-	fmt.Println(")")
-	fmt.Println()
-
-	ranked, err := res.RankCounties(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := runLoad(ctx, loadConfig{
+		baseURL:  strings.TrimRight(base, "/"),
+		clients:  *clients,
+		rps:      *rps,
+		duration: *duration,
+		mix:      mix,
+		batch:    *batch,
+		seed:     *seed,
+	})
 	if err != nil {
 		return err
 	}
-	rows := make([]report.RankedRegion, len(ranked))
-	for i, rs := range ranked {
-		rows[i] = report.RankedRegion{
-			Region:    rs.Region,
-			Character: rs.Character.String(),
-			Score:     rs.Score.IQB,
-			Grade:     rs.Score.Grade,
-		}
-	}
-	if err := report.RenderRanking(os.Stdout, rows); err != nil {
-		return err
-	}
-	fmt.Println()
-
-	if *verbose {
-		for _, rs := range ranked {
-			if err := report.RenderScoreCard(os.Stdout, rs.Region, rs.Score); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		return nil
-	}
-	// Best and worst score cards.
-	if len(ranked) > 0 {
-		if err := report.RenderScoreCard(os.Stdout, ranked[0].Region, ranked[0].Score); err != nil {
-			return err
-		}
-		fmt.Println()
-		last := ranked[len(ranked)-1]
-		if err := report.RenderScoreCard(os.Stdout, last.Region, last.Score); err != nil {
-			return err
-		}
-	}
-	return nil
+	return writeReport(rep, *out, stdout)
 }

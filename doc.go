@@ -29,6 +29,20 @@
 // to uncached scoring; internal/httpapi's cold-vs-warm benchmarks
 // quantify the win.
 //
+// Write path: internal/ingest turns the boot-time-only store into a
+// live streaming target. POST /v1/ingest accepts NDJSON record batches
+// through an admission-controlled queue — writers enqueue cheaply and
+// block until their records are durable, a single drainer folds queued
+// batches into large AddBatch commits through the store's ordered hook
+// chain (WAL tee, scorecache invalidation, snapshot growth signals all
+// fire unchanged), and a full queue sheds with a typed overload error
+// that httpapi maps to 429 + Retry-After. cmd/iqbsim is the matching
+// closed-loop load generator (mixed ingest/score/ranking traffic,
+// DDSketch latency percentiles as JSON), run as a CI smoke against a
+// WAL-backed server so the end-to-end write path has a macro-benchmark.
+// The overload property test pins the contract: shed batches never
+// appear, and every 202-accepted record survives kill-and-restart.
+//
 // Contracts: the invariants those subsystems rely on — fixed-seed
 // bit-determinism, no fsync while a shared lock is held, no discarded
 // write-path Sync/Close/Truncate errors — are machine-checked by the

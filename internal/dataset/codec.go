@@ -75,39 +75,106 @@ func WriteNDJSON(w io.Writer, rs []Record) error {
 	return bw.Flush()
 }
 
-// ReadNDJSON parses newline-delimited JSON records from r, validating
-// each. It reports the line number of the first malformed record.
-// Lines may be arbitrarily long: the reader accumulates each line in
-// full rather than capping tokens the way bufio.Scanner does, because
-// the WAL reader funnels crash-recovery payloads through this path and
-// must never reject a record the writer accepted.
-func ReadNDJSON(r io.Reader) ([]Record, error) {
+// LineError locates a malformed NDJSON record by its 1-based line
+// number in the input stream — the number is global across an entire
+// decode, not relative to the chunk that surfaced it, so streaming
+// ingest clients can be pointed at the exact offending line of what
+// they sent. Unwrap exposes the underlying parse or validation error.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("dataset: line %d: %v", e.Line, e.Err) }
+
+func (e *LineError) Unwrap() error { return e.Err }
+
+// NDJSONDecoder incrementally decodes newline-delimited JSON records,
+// validating each. Unlike ReadNDJSON it never holds more than one
+// chunk of records in memory, so arbitrarily long request bodies can
+// be fed through a bounded ingest queue chunk by chunk. Lines may be
+// arbitrarily long: each is accumulated in full rather than capped the
+// way bufio.Scanner caps tokens, because the WAL reader funnels
+// crash-recovery payloads through this path and must never reject a
+// record the writer accepted.
+type NDJSONDecoder struct {
+	br   *bufio.Reader
+	line int
+	done bool
+}
+
+// NewNDJSONDecoder returns a decoder reading from r.
+func NewNDJSONDecoder(r io.Reader) *NDJSONDecoder {
+	return &NDJSONDecoder{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next decodes up to max records (max <= 0 means unbounded) and
+// reports the raw input bytes consumed for them, delimiters included.
+// Once the stream is exhausted it returns io.EOF with no records; a
+// malformed or invalid record aborts the chunk with a *LineError
+// carrying the global 1-based line number. Blank lines are skipped but
+// still counted, matching line numbers in the sender's file.
+func (d *NDJSONDecoder) Next(max int) ([]Record, int64, error) {
+	if d.done {
+		return nil, 0, io.EOF
+	}
 	var out []Record
-	br := bufio.NewReaderSize(r, 64<<10)
-	for line := 1; ; line++ {
-		raw, err := br.ReadBytes('\n')
+	var consumed int64
+	for max <= 0 || len(out) < max {
+		raw, err := d.br.ReadBytes('\n')
 		if err != nil && err != io.EOF {
-			return nil, fmt.Errorf("dataset: reading NDJSON: %w", err)
+			return nil, 0, fmt.Errorf("dataset: reading NDJSON: %w", err)
 		}
+		d.line++
+		consumed += int64(len(raw))
 		// Trim the delimiter (and a CR from CRLF input, matching the
-		// old Scanner behavior); blank lines are skipped.
+		// old Scanner behavior).
 		for len(raw) > 0 && (raw[len(raw)-1] == '\n' || raw[len(raw)-1] == '\r') {
 			raw = raw[:len(raw)-1]
 		}
 		if len(raw) > 0 {
 			var w jsonRecord
 			if uerr := json.Unmarshal(raw, &w); uerr != nil {
-				return nil, fmt.Errorf("dataset: line %d: %w", line, uerr)
+				return nil, 0, &LineError{Line: d.line, Err: uerr}
 			}
 			rec := fromWire(w)
 			if verr := rec.Validate(); verr != nil {
-				return nil, fmt.Errorf("dataset: line %d: %w", line, verr)
+				return nil, 0, &LineError{Line: d.line, Err: verr}
 			}
 			out = append(out, rec)
 		}
 		if err == io.EOF {
+			d.done = true
+			break
+		}
+	}
+	if len(out) == 0 && d.done {
+		return nil, consumed, io.EOF
+	}
+	return out, consumed, nil
+}
+
+// Line reports how many input lines the decoder has consumed — after a
+// successful Next, the line number of the last record returned.
+func (d *NDJSONDecoder) Line() int { return d.line }
+
+// ReadNDJSON parses newline-delimited JSON records from r in one call,
+// validating each. It reports the 1-based line number of the first
+// malformed record via *LineError. This is the whole-input convenience
+// over NDJSONDecoder; streaming callers should chunk with the decoder
+// instead.
+func ReadNDJSON(r io.Reader) ([]Record, error) {
+	dec := NewNDJSONDecoder(r)
+	var out []Record
+	for {
+		rs, _, err := dec.Next(0)
+		if err == io.EOF {
 			return out, nil
 		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
 	}
 }
 

@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"strconv"
@@ -53,6 +55,93 @@ func TestReadNDJSONLineNumbers(t *testing.T) {
 
 func good2() string {
 	return `{"id":"b","time":"2025-06-02T00:00:00Z","dataset":"ndt","region":"XA-01","download_mbps":20}`
+}
+
+// TestNDJSONDecoderChunks pins the streaming decoder contract: records
+// arrive in caller-sized chunks, byte accounting covers delimiters, and
+// the stream ends with a bare io.EOF.
+func TestNDJSONDecoderChunks(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 7
+	for i := 0; i < n; i++ {
+		r := NewRecord("r"+strconv.Itoa(i), "ndt", "XA-01", time.Date(2025, 6, 2, 0, 0, 0, 0, time.UTC))
+		r.DownloadMbps = float64(10 + i)
+		if err := WriteNDJSON(&buf, []Record{r}); err != nil {
+			t.Fatalf("WriteNDJSON: %v", err)
+		}
+	}
+	total := int64(buf.Len())
+	dec := NewNDJSONDecoder(&buf)
+	var got []Record
+	var consumed int64
+	for {
+		rs, nb, err := dec.Next(3)
+		consumed += nb
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if len(rs) > 3 {
+			t.Fatalf("chunk of %d records exceeds max 3", len(rs))
+		}
+		got = append(got, rs...)
+	}
+	if len(got) != n {
+		t.Fatalf("decoded %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if want := "r" + strconv.Itoa(i); r.ID != want {
+			t.Fatalf("record %d is %q, want %q (order must be preserved)", i, r.ID, want)
+		}
+	}
+	if consumed != total {
+		t.Fatalf("consumed %d bytes, input was %d", consumed, total)
+	}
+}
+
+// TestNDJSONDecoderGlobalLineNumbers: an error in a later chunk names
+// the line's global position in the stream, not its offset within the
+// chunk — that number is what an ingest client greps its file for.
+func TestNDJSONDecoderGlobalLineNumbers(t *testing.T) {
+	good := `{"id":"a","time":"2025-06-02T00:00:00Z","dataset":"ndt","region":"XA-01","download_mbps":10}`
+	var in strings.Builder
+	for i := 0; i < 5; i++ {
+		in.WriteString(strings.Replace(good, `"a"`, `"a`+strconv.Itoa(i)+`"`, 1))
+		in.WriteByte('\n')
+	}
+	in.WriteString("not json\n")
+	dec := NewNDJSONDecoder(strings.NewReader(in.String()))
+	if _, _, err := dec.Next(2); err != nil {
+		t.Fatalf("chunk 1: %v", err)
+	}
+	if _, _, err := dec.Next(2); err != nil {
+		t.Fatalf("chunk 2: %v", err)
+	}
+	_, _, err := dec.Next(2)
+	var le *LineError
+	if !errors.As(err, &le) {
+		t.Fatalf("chunk 3 error is %T (%v), want *LineError", err, err)
+	}
+	if le.Line != 6 {
+		t.Fatalf("LineError.Line = %d, want global line 6", le.Line)
+	}
+	if !strings.Contains(le.Error(), "line 6") {
+		t.Fatalf("error text %q does not name line 6", le.Error())
+	}
+}
+
+// TestNDJSONDecoderValidationError: a well-formed JSON line holding an
+// invalid record is also located by line.
+func TestNDJSONDecoderValidationError(t *testing.T) {
+	bad := `{"id":"","time":"2025-06-02T00:00:00Z","dataset":"ndt","region":"XA-01","download_mbps":10}`
+	dec := NewNDJSONDecoder(strings.NewReader(good2() + "\n" + bad + "\n"))
+	_, _, err := dec.Next(0)
+	var le *LineError
+	if !errors.As(err, &le) || le.Line != 2 {
+		t.Fatalf("want *LineError at line 2, got %v", err)
+	}
 }
 
 // TestValidateRejectsNonFinite pins the satellite fix: ±Inf used to

@@ -16,6 +16,11 @@
 //	GET  /v1/datasets          dataset names with record counts
 //	POST /v1/snapshot          cut a durable snapshot (503 when the
 //	                           server runs memory-only)
+//	POST /v1/ingest            stream NDJSON records into the live
+//	                           ingest pipeline (202 with accepted
+//	                           counts; 429 + Retry-After on overload;
+//	                           413 past the body cap; 503 when live
+//	                           ingest is not enabled)
 //
 // When a scored-region cache is attached (SetScoreCache), /v1/score and
 // /v1/ranking are served from it — invalidated precisely by ingest via
@@ -34,6 +39,7 @@ import (
 
 	"iqb/internal/dataset"
 	"iqb/internal/geo"
+	"iqb/internal/ingest"
 	"iqb/internal/iqb"
 	"iqb/internal/persist"
 	"iqb/internal/scorecache"
@@ -59,6 +65,10 @@ type Server struct {
 	persist  Persistence
 	cache    *scorecache.Cache
 	patterns []string // mux patterns registered via handle, for SetMetrics
+
+	// Live ingest pipeline (SetIngest); nil answers 503.
+	ingestq       *ingest.Ingester
+	ingestBodyCap int64
 
 	// endpoints maps a mux pattern to its instruments. Built once by
 	// SetMetrics before serving, then only read; nil when the server
@@ -89,6 +99,7 @@ func New(cfg iqb.Config, store *dataset.Store, db *geo.DB, logger *slog.Logger) 
 	s.handle("GET /v1/ranking", s.handleRanking)
 	s.handle("GET /v1/datasets", s.handleDatasets)
 	s.handle("POST /v1/snapshot", s.handleSnapshot)
+	s.handle("POST /v1/ingest", s.handleIngest)
 	s.registerTimeSeries()
 	return s, nil
 }
@@ -192,6 +203,8 @@ type HealthResponse struct {
 	Persistence *persist.Status `json:"persistence,omitempty"`
 	// Cache is nil when no score cache is attached.
 	Cache *scorecache.Stats `json:"cache,omitempty"`
+	// Ingest is nil when live ingest is not enabled.
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -203,6 +216,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		st := s.cache.Stats()
 		resp.Cache = &st
+	}
+	if s.ingestq != nil {
+		st := s.ingestq.Stats()
+		resp.Ingest = &st
 	}
 	s.writeJSON(w, resp)
 }

@@ -18,9 +18,11 @@ import (
 // Sentinel fault errors. Production code never sees these types; tests
 // match them with errors.Is through the persist error wrapping.
 var (
-	errKilled       = errors.New("faultfs: killed")
-	errSyncInjected = errors.New("faultfs: injected sync failure")
-	errTruncInject  = errors.New("faultfs: injected truncate failure")
+	errKilled        = errors.New("faultfs: killed")
+	errSyncInjected  = errors.New("faultfs: injected sync failure")
+	errTruncInject   = errors.New("faultfs: injected truncate failure")
+	errDirSyncInject = errors.New("faultfs: injected dir-sync failure")
+	errRemoveInject  = errors.New("faultfs: injected remove failure")
 )
 
 // faultFS implements WALFS over the real filesystem with an injectable
@@ -40,6 +42,8 @@ type faultFS struct {
 	failSyncs    int     // fail the next N file Syncs (transient)
 	syncErrs     []error // the distinct injected sync-error instances, in order
 	failTruncate bool    // fail Truncate calls while set (breaks rollback)
+	failDirSyncs int     // fail the next N directory syncs (fails a rotation)
+	failRemove   bool    // fail Remove calls while set (leaves leftovers)
 }
 
 func newFaultFS() *faultFS {
@@ -73,6 +77,22 @@ func (f *faultFS) setFailTruncate(fail bool) {
 	f.failTruncate = fail
 }
 
+// failNextDirSyncs makes the next n directory syncs fail — the fault
+// that aborts a segment rotation after its magic is already on disk.
+func (f *faultFS) failNextDirSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failDirSyncs = n
+}
+
+// setFailRemove toggles Remove failures, which turn an abandoned
+// rotation into a leftover segment file on disk.
+func (f *faultFS) setFailRemove(fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRemove = fail
+}
+
 // clearFaults disarms every pending fault (but not a kill already
 // triggered, which is permanent by design).
 func (f *faultFS) clearFaults() {
@@ -81,6 +101,8 @@ func (f *faultFS) clearFaults() {
 	f.killAt = -1
 	f.failSyncs = 0
 	f.failTruncate = false
+	f.failDirSyncs = 0
+	f.failRemove = false
 }
 
 func (f *faultFS) fileSyncCount() int {
@@ -131,10 +153,13 @@ func (f *faultFS) Open(name string) (WALFile, error) {
 
 func (f *faultFS) Remove(name string) error {
 	f.mu.Lock()
-	killed := f.killed
+	killed, failRemove := f.killed, f.failRemove
 	f.mu.Unlock()
 	if killed {
 		return errKilled
+	}
+	if failRemove {
+		return errRemoveInject
 	}
 	return os.Remove(name)
 }
@@ -146,6 +171,11 @@ func (f *faultFS) SyncDir(dir string) error {
 		return errKilled
 	}
 	f.dirSyncs++
+	if f.failDirSyncs > 0 {
+		f.failDirSyncs--
+		f.mu.Unlock()
+		return errDirSyncInject
+	}
 	f.mu.Unlock()
 	return syncDir(dir)
 }

@@ -37,6 +37,9 @@ type Recovery struct {
 	// TornTail is true when the WAL ended in a truncated or
 	// checksum-broken frame that was cut away — a crash mid-append.
 	TornTail bool `json:"torn_tail"`
+	// ScavengedSegments names leftover WAL segment files (abandoned by
+	// a rotation whose unlink failed) that open removed.
+	ScavengedSegments []string `json:"scavenged_segments,omitempty"`
 	// Elapsed is how long recovery took.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -134,7 +137,8 @@ func Open(dir string, o Options) (*Manager, error) {
 		m.snapRecords = man.Records
 		m.snapAt = man.SavedAt
 	}
-	rec := Recovery{FromSnapshot: hasSnap, SnapshotRecords: len(rs), TornTail: log.TornTail()}
+	rec := Recovery{FromSnapshot: hasSnap, SnapshotRecords: len(rs), TornTail: log.TornTail(),
+		ScavengedSegments: log.Scavenged()}
 	err = log.Replay(man.WALOffset, func(batch []dataset.Record) error {
 		if err := store.AddBatch(batch); err != nil {
 			// Append acks durability the instant the frame lands; an

@@ -193,7 +193,8 @@ type Log struct {
 	mu         sync.Mutex
 	active     WALFile
 	activeName string
-	torn       bool // whether open found and truncated a torn tail
+	torn       bool     // whether open found and truncated a torn tail
+	scavenged  []string // leftover segment files removed at open
 	closed     bool
 	// wedged is set when a failed write could not be rolled back: a
 	// possibly-partial frame is stuck mid-file, and appending past it
@@ -216,9 +217,20 @@ func segName(start uint64) string {
 	return fmt.Sprintf("%020d%s", start, segSuffix)
 }
 
+// segScan is one segment's scan result during open.
+type segScan struct {
+	seg     walSegment
+	records uint64
+	goodEnd int64
+	torn    bool
+}
+
 // OpenLog opens (or creates) the WAL in dir, verifying every sealed
 // segment and recovering the active segment's tail: a torn final frame
 // is truncated away so subsequent appends start at a clean boundary.
+// Leftover segment files abandoned by a rotation whose unlink failed
+// are scavenged (see scavengeLeftovers) instead of bricking the reopen
+// with a false corruption refusal.
 func OpenLog(dir string, o Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating wal dir: %w", err)
@@ -243,7 +255,21 @@ func OpenLog(dir string, o Options) (*Log, error) {
 
 	l := &Log{dir: dir, segMax: o.segmentBytes(), noSync: o.NoSync, fs: o.fileSystem()}
 	l.registerMetrics(o.Metrics)
-	if len(segs) == 0 {
+
+	scans := make([]segScan, 0, len(segs))
+	for _, seg := range segs {
+		records, goodEnd, torn, err := scanSegment(l.fs, filepath.Join(dir, seg.name))
+		if err != nil {
+			return nil, fmt.Errorf("persist: segment %s: %w", seg.name, err)
+		}
+		scans = append(scans, segScan{seg: seg, records: records, goodEnd: goodEnd, torn: torn})
+	}
+	kept, err := l.scavengeLeftovers(scans)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(kept) == 0 {
 		if err := l.createSegmentLocked(0); err != nil {
 			return nil, err
 		}
@@ -251,17 +277,14 @@ func OpenLog(dir string, o Options) (*Log, error) {
 		return l, nil
 	}
 
-	for i, seg := range segs {
-		last := i == len(segs)-1
-		records, goodEnd, torn, err := scanSegment(l.fs, filepath.Join(dir, seg.name))
-		if err != nil {
-			return nil, fmt.Errorf("persist: segment %s: %w", seg.name, err)
-		}
+	for i, sc := range kept {
+		seg, records, goodEnd, torn := sc.seg, sc.records, sc.goodEnd, sc.torn
+		last := i == len(kept)-1
 		if torn && !last {
 			return nil, fmt.Errorf("persist: segment %s: torn frame in sealed segment (corruption)", seg.name)
 		}
 		if !last {
-			if want := segs[i+1].start; seg.start+records != want {
+			if want := kept[i+1].seg.start; seg.start+records != want {
 				return nil, fmt.Errorf("persist: segment %s holds %d records from offset %d but next segment starts at %d (corruption)",
 					seg.name, records, seg.start, want)
 			}
@@ -293,6 +316,57 @@ func OpenLog(dir string, o Options) (*Log, error) {
 	}
 	l.startCommitter(o)
 	return l, nil
+}
+
+// scavengeLeftovers removes segment files abandoned by a failed
+// rotation whose unlink also failed. Such a leftover holds no complete
+// frames (at most the magic, possibly torn), yet its offset-named start
+// sits inside a neighbor's record range, so the contiguity check would
+// refuse the whole directory as corrupt — durable, acknowledged data
+// bricked by an empty file.
+//
+// The detection rule follows from the rotation invariants: a leftover
+// is exactly a clean magic and nothing more (the abandoned file was
+// synced after its magic and never received a frame), and a sealed
+// segment is never legitimately empty (rotation and compaction only
+// seal a segment that received frames). So a frameless untorn non-last
+// segment is a leftover; a frameless LAST segment is a leftover only
+// when the previous kept segment's records extend past its start —
+// otherwise it is a legitimately fresh active segment. A frameless
+// segment with trailing garbage (torn) is NOT a leftover: that shape
+// is a damaged sealed segment, and it still fails open as corruption.
+// Only files with zero complete frames are ever removed, so no durable
+// record can be lost, and the contiguity check still runs on the
+// survivors.
+func (l *Log) scavengeLeftovers(scans []segScan) ([]segScan, error) {
+	kept := make([]segScan, 0, len(scans))
+	for i, sc := range scans {
+		frameless := sc.records == 0 && !sc.torn && sc.goodEnd <= int64(len(segMagic))
+		leftover := false
+		if frameless {
+			if i < len(scans)-1 {
+				leftover = true
+			} else if n := len(kept); n > 0 {
+				prev := kept[n-1]
+				leftover = prev.seg.start+prev.records > sc.seg.start
+			}
+		}
+		if !leftover {
+			kept = append(kept, sc)
+			continue
+		}
+		if err := l.fs.Remove(filepath.Join(l.dir, sc.seg.name)); err != nil {
+			return nil, fmt.Errorf("persist: scavenging leftover segment %s: %w", sc.seg.name, err)
+		}
+		l.scavenged = append(l.scavenged, sc.seg.name)
+	}
+	if len(l.scavenged) > 0 && !l.noSync {
+		// Make the unlinks durable before trusting the surviving chain.
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return nil, fmt.Errorf("persist: syncing wal dir after scavenge: %w", err)
+		}
+	}
+	return kept, nil
 }
 
 // registerMetrics exposes the log's write-path counters and latency
@@ -836,6 +910,11 @@ func (l *Log) Offset() uint64 { return l.offset.Load() }
 // TornTail reports whether opening the log found (and truncated) a torn
 // final frame — evidence of a crash mid-append.
 func (l *Log) TornTail() bool { return l.torn }
+
+// Scavenged reports the leftover segment files (abandoned by a failed
+// rotation) that open removed, in offset order. Set once at open, then
+// only read.
+func (l *Log) Scavenged() []string { return append([]string(nil), l.scavenged...) }
 
 // Segments reports how many segment files the log currently holds.
 // Takes only segMu, never l.mu.
